@@ -1,0 +1,101 @@
+//! Criterion bench: guarded-expression generation cost vs. policy count
+//! (the microbenchmark behind Figure 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minidb::value::{DataType, Value};
+use minidb::{Database, DbProfile, TableSchema};
+use sieve_core::cost::CostModel;
+use sieve_core::guard::{generate_guarded_expression, GuardSelectionStrategy};
+use sieve_core::policy::{CondPredicate, ObjectCondition, Policy, QuerierSpec};
+
+fn build_db(rows: i64) -> Database {
+    let mut db = Database::new(DbProfile::MySqlLike);
+    db.create_table(TableSchema::of(
+        "wifi_dataset",
+        &[
+            ("id", DataType::Int),
+            ("owner", DataType::Int),
+            ("wifi_ap", DataType::Int),
+            ("ts_time", DataType::Time),
+        ],
+    ))
+    .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "wifi_dataset",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 300),
+                Value::Int(1000 + i % 64),
+                Value::Time(((i * 211) % 86_400) as u32),
+            ],
+        )
+        .unwrap();
+    }
+    for col in ["owner", "wifi_ap", "ts_time"] {
+        db.create_index("wifi_dataset", col).unwrap();
+    }
+    db.analyze("wifi_dataset").unwrap();
+    db
+}
+
+fn policies(n: usize) -> Vec<Policy> {
+    (0..n)
+        .map(|i| {
+            let start = ((i * 1800) % (16 * 3600)) as u32 + 6 * 3600;
+            let mut p = Policy::new(
+                (i % 120) as i64,
+                "wifi_dataset",
+                QuerierSpec::User(1),
+                "Any",
+                vec![
+                    ObjectCondition::new(
+                        "ts_time",
+                        CondPredicate::between(
+                            Value::Time(start),
+                            Value::Time((start + 2 * 3600).min(86_399)),
+                        ),
+                    ),
+                    ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1000 + (i % 16) as i64)),
+                    ),
+                ],
+            );
+            p.id = i as u64 + 1;
+            p
+        })
+        .collect()
+}
+
+fn bench_guard_generation(c: &mut Criterion) {
+    let db = build_db(50_000);
+    let entry = db.table("wifi_dataset").unwrap();
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("guard_generation");
+    for &n in &[50usize, 100, 200, 400, 800] {
+        let ps = policies(n);
+        let refs: Vec<&Policy> = ps.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            b.iter(|| {
+                generate_guarded_expression(
+                    refs,
+                    entry,
+                    &cost,
+                    GuardSelectionStrategy::CostOptimal,
+                    1,
+                    "Any",
+                    "wifi_dataset",
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_guard_generation
+}
+criterion_main!(benches);

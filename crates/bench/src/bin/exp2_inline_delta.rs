@@ -1,0 +1,212 @@
+//! Experiment 2.1 (paper Section 7.2): Inline vs. the ∆ operator —
+//! regenerates **Figure 3**.
+//!
+//! A *single fixed guard* (`wifi_ap = 1200`) carries a partition that
+//! grows from a handful of policies to several hundred; at each size the
+//! same query runs once with the partition inlined (`Guard&Inlining`) and
+//! once routed through ∆ (`Guard&∆`). Constructing the guard directly —
+//! rather than letting Algorithm 1 choose — isolates exactly the decision
+//! the paper's Figure 3 studies. The paper finds the crossover at ≈120
+//! policies: below it the UDF invocation overhead dominates; above it ∆'s
+//! owner-keyed filtering wins.
+
+use minidb::value::{DataType, Value};
+use minidb::{Database, DbProfile, SelectQuery, TableSchema};
+use sieve_bench::harness::{emit, EnvConfig};
+use sieve_bench::table::{ms, render};
+use sieve_core::delta::DeltaRegistry;
+use sieve_core::guard::{Guard, GuardedExpression};
+use sieve_core::policy::{
+    CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec,
+};
+use sieve_core::rewrite::{rewrite_query, DeltaMode, RewriteOptions};
+use sieve_core::CostModel;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn build_db(rows: i64, owners: i64) -> Database {
+    let mut db = Database::new(DbProfile::MySqlLike);
+    db.create_table(TableSchema::of(
+        "wifi_dataset",
+        &[
+            ("id", DataType::Int),
+            ("owner", DataType::Int),
+            ("wifi_ap", DataType::Int),
+            ("ts_time", DataType::Time),
+        ],
+    ))
+    .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "wifi_dataset",
+            vec![
+                Value::Int(i),
+                Value::Int(i % owners),
+                // Half the rows at the guarded AP.
+                Value::Int(if i % 2 == 0 { 1200 } else { 1300 }),
+                Value::Time(((i * 131) % 86_400) as u32),
+            ],
+        )
+        .unwrap();
+    }
+    for col in ["owner", "wifi_ap", "ts_time"] {
+        db.create_index("wifi_dataset", col).unwrap();
+    }
+    db.analyze("wifi_dataset").unwrap();
+    db
+}
+
+/// `n` policies sharing the guarded `wifi_ap = 1200` condition, spread
+/// over `owners` owners with varying time windows.
+fn partition_policies(n: usize, owners: i64) -> Vec<Policy> {
+    (0..n)
+        .map(|i| {
+            let start = ((i % 12) as u32) * 2 * 3600;
+            let mut p = Policy::new(
+                (i as i64) % owners,
+                "wifi_dataset",
+                QuerierSpec::User(9_999),
+                "Analytics",
+                vec![
+                    ObjectCondition::new("wifi_ap", CondPredicate::Eq(Value::Int(1200))),
+                    ObjectCondition::new(
+                        "ts_time",
+                        CondPredicate::between(
+                            Value::Time(start),
+                            Value::Time((start + 2 * 3600).min(86_399)),
+                        ),
+                    ),
+                ],
+            );
+            p.id = i as PolicyId + 1;
+            p
+        })
+        .collect()
+}
+
+/// Run `SELECT *` through a manually-built single-guard expression.
+fn run_single_guard(
+    db: &Database,
+    policies: &[Policy],
+    mode: DeltaMode,
+    cost: &CostModel,
+) -> (Option<f64>, Option<f64>) {
+    let entry = db.table("wifi_dataset").unwrap();
+    let guard = Guard {
+        condition: ObjectCondition::new("wifi_ap", CondPredicate::Eq(Value::Int(1200))),
+        policies: policies.iter().map(|p| p.id).collect(),
+        est_rows: entry
+            .histogram("wifi_ap")
+            .map(|h| h.estimate_eq(&Value::Int(1200)))
+            .unwrap_or(0.0),
+    };
+    let ge = GuardedExpression {
+        relation: "wifi_dataset".into(),
+        querier: 9_999,
+        purpose: "Analytics".into(),
+        guards: vec![guard],
+    };
+    let mut guarded = HashMap::new();
+    guarded.insert("wifi_dataset".to_string(), ge);
+    let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+    let delta = DeltaRegistry::new();
+    let query = SelectQuery::star_from("wifi_dataset");
+    let opts = RewriteOptions {
+        delta_mode: mode,
+        ..Default::default()
+    };
+    let rewritten = match rewrite_query(db, &delta, &query, &guarded, &by_id, cost, &opts) {
+        Ok(r) => r.query,
+        Err(_) => return (None, None),
+    };
+    // The ∆ partitions live in `delta`, which must back the installed UDF:
+    // run on a clone with this registry installed.
+    let mut db2 = db.clone();
+    delta.install(&mut db2);
+    // Warm-up, then three timed runs.
+    let _ = db2.run_query(&rewritten);
+    let mut sims = Vec::new();
+    let mut walls = Vec::new();
+    for _ in 0..3 {
+        let (res, stats) = db2.run_timed(&rewritten, &Default::default());
+        if res.is_err() {
+            return (None, None);
+        }
+        sims.push(stats.simulated_cost / 1e3);
+        walls.push(stats.wall_ms());
+    }
+    (
+        sieve_bench::table::mean(&sims),
+        sieve_bench::table::mean(&walls),
+    )
+}
+
+fn main() {
+    let env = EnvConfig::from_env();
+    let rows = (40_000.0 * (env.scale / 0.05).max(0.1)) as i64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Experiment 2.1: Guard&Inlining vs Guard&Delta (Figure 3; {rows} rows, one fixed guard) ===\n"
+    );
+
+    let cost = CostModel::default();
+    let mut table = Vec::new();
+    let mut crossover: Option<usize> = None;
+    let mut model_threshold = 0;
+
+    for &n in &[10usize, 20, 40, 60, 80, 100, 120, 140, 160, 200, 240, 320, 400] {
+        let owners = (n as i64 / 2).max(4);
+        let policies = partition_policies(n, owners);
+        let db = build_db(rows, owners);
+
+        let (inline_sim, inline_wall) =
+            run_single_guard(&db, &policies, DeltaMode::Never, &cost);
+        let (delta_sim, delta_wall) =
+            run_single_guard(&db, &policies, DeltaMode::Always, &cost);
+        if crossover.is_none() {
+            if let (Some(i), Some(d)) = (inline_sim, delta_sim) {
+                if d < i {
+                    crossover = Some(n);
+                }
+            }
+        }
+        // What the cost model itself would decide at this size.
+        if !cost.prefer_delta(n, owners as usize) {
+            model_threshold = n;
+        }
+        table.push(vec![
+            n.to_string(),
+            ms(inline_sim),
+            ms(delta_sim),
+            ms(inline_wall),
+            ms(delta_wall),
+        ]);
+    }
+
+    let _ = writeln!(
+        out,
+        "{}",
+        render(
+            &[
+                "|P_Gi|",
+                "inline_kcost",
+                "delta_kcost",
+                "inline_ms",
+                "delta_ms"
+            ],
+            &table
+        )
+    );
+    let _ = writeln!(
+        out,
+        "measured crossover (simulated clock): delta wins from ~{} policies",
+        crossover.map_or("n/a".into(), |c| c.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "cost-model crossover: last inline-preferred size ≈ {model_threshold} \
+         (paper: ≈120 on MySQL)"
+    );
+    emit("exp2_inline_delta", &out);
+}

@@ -1,0 +1,320 @@
+//! The paper's baseline enforcement strategies (Section 7, Experiment 3).
+//!
+//! * **BaselineP** — policies appended to the `WHERE` clause as a DNF:
+//!   `⟨query predicate⟩ AND (OC_1 OR … OR OC_n)`. The traditional
+//!   policy-as-data rewrite; degrades as query cardinality grows.
+//! * **BaselineI** — one forced index scan per policy, combined with
+//!   `UNION` (a `WITH` clause whose branches are the policies, with a
+//!   `FORCE INDEX` hint). Flat in query cardinality, but pays one probe
+//!   per policy.
+//! * **BaselineU** — like BaselineP but the policy expression is replaced
+//!   by a UDF over all the querier's policies, invoked per tuple with all
+//!   attributes. Cheap policy filtering, expensive invocations.
+//!
+//! All three produce exactly the oracle semantics; only cost differs.
+
+use crate::delta::{delta_call_expr, DeltaRegistry};
+use crate::policy::Policy;
+use minidb::error::DbResult;
+use minidb::expr::Expr;
+use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
+use minidb::{Database, SelectItem};
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Policies as WHERE-clause DNF.
+    P,
+    /// Index scan per policy + UNION.
+    I,
+    /// UDF holding all policies.
+    U,
+}
+
+/// BaselineP: append the policy DNF to the query's WHERE clause.
+pub fn rewrite_baseline_p(
+    original: &SelectQuery,
+    relation: &str,
+    policies: &[&Policy],
+) -> SelectQuery {
+    let dnf = crate::policy::policy_expression(policies);
+    attach_policy_filter(original, relation, dnf, IndexHint::None)
+}
+
+/// BaselineI: `WITH rel_pol AS (SELECT * FROM rel FORCE INDEX (owner)
+/// WHERE OC_1 OR … OR OC_n)` — one index-driven branch per policy —
+/// then the original query over `rel_pol`.
+pub fn rewrite_baseline_i(
+    original: &SelectQuery,
+    relation: &str,
+    policies: &[&Policy],
+) -> SelectQuery {
+    let dnf = crate::policy::policy_expression(policies);
+    // Force the per-branch probes through the guardable attributes the
+    // policies actually filter on (the owner condition is always there).
+    let mut attrs: Vec<String> = vec![crate::policy::OWNER_ATTR.to_string()];
+    for p in policies {
+        for oc in &p.conditions {
+            if !attrs.contains(&oc.attr) {
+                attrs.push(oc.attr.clone());
+            }
+        }
+    }
+    let mut out = original.clone();
+    let with_name = format!("{relation}_pol");
+    let body = SelectQuery {
+        with: vec![],
+        select: vec![SelectItem::Star],
+        from: vec![TableRef {
+            source: TableSource::Named(relation.to_string()),
+            alias: relation.to_string(),
+            hint: IndexHint::Force(attrs),
+        }],
+        predicate: Some(dnf),
+        group_by: vec![],
+        limit: None,
+    };
+    for tref in &mut out.from {
+        if matches!(&tref.source, TableSource::Named(n) if n == relation) {
+            tref.source = TableSource::Named(with_name.clone());
+            tref.hint = IndexHint::None;
+        }
+    }
+    let mut with = vec![WithClause {
+        name: with_name,
+        query: body,
+    }];
+    with.extend(out.with.drain(..));
+    out.with = with;
+    out
+}
+
+/// BaselineU: register all policies as a single ∆ partition and append a
+/// per-tuple UDF call to the WHERE clause. Returns the rewritten query
+/// (the UDF must already be installed via [`DeltaRegistry::install`]).
+pub fn rewrite_baseline_u(
+    db: &Database,
+    delta: &DeltaRegistry,
+    original: &SelectQuery,
+    relation: &str,
+    policies: &[&Policy],
+) -> DbResult<SelectQuery> {
+    let schema = db.table(relation)?.schema();
+    // Policies with derived conditions cannot go through the UDF; keep
+    // them as an inline OR alongside the UDF call.
+    let (derived, plain): (Vec<&Policy>, Vec<&Policy>) = policies
+        .iter()
+        .partition(|p| p.has_derived_condition());
+    let mut parts = Vec::new();
+    if !plain.is_empty() {
+        let key = delta.register_partition(schema, &plain)?;
+        parts.push(delta_call_expr(key, schema));
+    }
+    if !derived.is_empty() {
+        parts.push(crate::policy::policy_expression(&derived));
+    }
+    let filter = Expr::any(parts);
+    Ok(attach_policy_filter(original, relation, filter, IndexHint::None))
+}
+
+/// AND a policy filter onto the conjuncts applying to `relation`,
+/// qualifying bare columns with the relation's alias when the query has
+/// several FROM entries.
+fn attach_policy_filter(
+    original: &SelectQuery,
+    relation: &str,
+    filter: Expr,
+    hint: IndexHint,
+) -> SelectQuery {
+    let mut out = original.clone();
+    // Find the alias under which the relation appears.
+    let alias = out
+        .from
+        .iter()
+        .find(|t| matches!(&t.source, TableSource::Named(n) if n == relation))
+        .map(|t| t.alias.clone());
+    let filter = match (&alias, out.from.len()) {
+        (Some(a), n) if n > 1 => qualify_bare(&filter, a),
+        _ => filter,
+    };
+    out.predicate = Some(match out.predicate.take() {
+        Some(p) => Expr::and(p, filter),
+        None => filter,
+    });
+    if hint != IndexHint::None {
+        for t in &mut out.from {
+            if matches!(&t.source, TableSource::Named(n) if n == relation) {
+                t.hint = hint.clone();
+            }
+        }
+    }
+    out
+}
+
+/// Qualify bare column references with an alias (policy conditions are
+/// written bare; in multi-table queries they must pin to the protected
+/// relation).
+fn qualify_bare(e: &Expr, alias: &str) -> Expr {
+    use minidb::expr::ColumnRef;
+    match e {
+        Expr::Column(c) if c.table.is_none() => {
+            Expr::Column(ColumnRef::qualified(alias, c.column.clone()))
+        }
+        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+        Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: *op,
+            lhs: Box::new(qualify_bare(lhs, alias)),
+            rhs: Box::new(qualify_bare(rhs, alias)),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(qualify_bare(expr, alias)),
+            low: Box::new(qualify_bare(low, alias)),
+            high: Box::new(qualify_bare(high, alias)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(qualify_bare(expr, alias)),
+            list: list.iter().map(|x| qualify_bare(x, alias)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(qualify_bare(expr, alias)),
+            negated: *negated,
+        },
+        Expr::And(v) => Expr::And(v.iter().map(|x| qualify_bare(x, alias)).collect()),
+        Expr::Or(v) => Expr::Or(v.iter().map(|x| qualify_bare(x, alias)).collect()),
+        Expr::Not(x) => Expr::Not(Box::new(qualify_bare(x, alias))),
+        Expr::Udf { name, args } => Expr::Udf {
+            name: name.clone(),
+            args: args.iter().map(|x| qualify_bare(x, alias)).collect(),
+        },
+        Expr::ScalarSubquery(_) => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
+    use crate::semantics::visible_rows;
+    use minidb::value::{DataType, Value};
+    use minidb::{DbProfile, TableSchema};
+
+    fn setup() -> (Database, Vec<Policy>) {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        db.create_table(TableSchema::of(
+            "wifi_dataset",
+            &[
+                ("id", DataType::Int),
+                ("owner", DataType::Int),
+                ("wifi_ap", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..2000i64 {
+            db.insert(
+                "wifi_dataset",
+                vec![Value::Int(i), Value::Int(i % 40), Value::Int(1000 + i % 8)],
+            )
+            .unwrap();
+        }
+        db.create_index("wifi_dataset", "owner").unwrap();
+        db.create_index("wifi_dataset", "wifi_ap").unwrap();
+        db.analyze("wifi_dataset").unwrap();
+        let policies: Vec<Policy> = (0..10)
+            .map(|i| {
+                let mut p = Policy::new(
+                    i as i64,
+                    "wifi_dataset",
+                    QuerierSpec::User(77),
+                    "Any",
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1000 + (i % 4) as i64)),
+                    )],
+                );
+                p.id = i + 1;
+                p
+            })
+            .collect();
+        (db, policies)
+    }
+
+    #[test]
+    fn all_baselines_match_oracle() {
+        let (mut db, policies) = setup();
+        let delta = DeltaRegistry::new();
+        delta.install(&mut db);
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let mut oracle = visible_rows(&db, "wifi_dataset", &refs).unwrap();
+        oracle.sort();
+        assert!(!oracle.is_empty());
+
+        let qp = rewrite_baseline_p(&q, "wifi_dataset", &refs);
+        let qi = rewrite_baseline_i(&q, "wifi_dataset", &refs);
+        let qu = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &refs).unwrap();
+        for (name, rq) in [("P", qp), ("I", qi), ("U", qu)] {
+            let mut rows = db.run_query(&rq).unwrap().rows;
+            rows.sort();
+            assert_eq!(rows, oracle, "baseline {name} diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn baselines_respect_query_predicate() {
+        let (mut db, policies) = setup();
+        let delta = DeltaRegistry::new();
+        delta.install(&mut db);
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let q = SelectQuery::star_from("wifi_dataset").filter(Expr::col_eq(
+            minidb::ColumnRef::bare("wifi_ap"),
+            Value::Int(1001),
+        ));
+        let oracle: Vec<minidb::Row> = visible_rows(&db, "wifi_dataset", &refs)
+            .unwrap()
+            .into_iter()
+            .filter(|r| r[2] == Value::Int(1001))
+            .collect();
+        let qp = rewrite_baseline_p(&q, "wifi_dataset", &refs);
+        let mut rows = db.run_query(&qp).unwrap().rows;
+        rows.sort();
+        let mut oracle = oracle;
+        oracle.sort();
+        assert_eq!(rows, oracle);
+    }
+
+    #[test]
+    fn baseline_i_uses_with_clause() {
+        let (_, policies) = setup();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let qi = rewrite_baseline_i(&q, "wifi_dataset", &refs);
+        assert_eq!(qi.with.len(), 1);
+        assert!(matches!(
+            &qi.with[0].query.from[0].hint,
+            IndexHint::Force(attrs) if attrs.contains(&"owner".to_string())
+        ));
+    }
+
+    #[test]
+    fn empty_policies_deny_everything() {
+        let (mut db, _) = setup();
+        let delta = DeltaRegistry::new();
+        delta.install(&mut db);
+        let q = SelectQuery::star_from("wifi_dataset");
+        let qp = rewrite_baseline_p(&q, "wifi_dataset", &[]);
+        assert!(db.run_query(&qp).unwrap().is_empty());
+        let qu = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &[]).unwrap();
+        assert!(db.run_query(&qu).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Deny-policy factoring (paper Section 3.1).
+//!
+//! SIEVE's enforcement model only stores *allow* policies: "If a user
+//! expresses a policy with a deny action (e.g., to limit the scope of an
+//! allow policy), we can factor in such a deny policy into the explicitly
+//! listed allow policies." The paper's example: *allow John access to my
+//! location* minus *deny everyone access when in my office* becomes
+//! *allow John access when I am in locations other than my office*.
+//!
+//! Formally, an allow `A` with overlapping deny `D` (a conjunction
+//! `d_1 ∧ … ∧ d_n` of object conditions over the same owner/relation)
+//! becomes the disjoint expansion of `A ∧ ¬D`:
+//!
+//! ```text
+//! A ∧ ¬d_1
+//! A ∧ d_1 ∧ ¬d_2
+//! …
+//! A ∧ d_1 ∧ … ∧ d_{n-1} ∧ ¬d_n
+//! ```
+//!
+//! each of which is again a plain conjunctive allow policy (negations of
+//! the supported predicate shapes stay within the shape language, with
+//! ranges splitting into up to two policies).
+
+use crate::policy::{CondPredicate, ObjectCondition, Policy};
+use minidb::error::{DbError, DbResult};
+use minidb::RangeBound;
+
+/// Negate one object condition within the conjunctive shape language.
+/// Returns the disjuncts of the complement (1 entry for Eq/Ne/In/NotIn,
+/// up to 2 for ranges). Unbounded sides produce no disjunct on that side.
+pub fn negate_condition(oc: &ObjectCondition) -> DbResult<Vec<ObjectCondition>> {
+    let mk = |pred| ObjectCondition::new(oc.attr.clone(), pred);
+    Ok(match &oc.pred {
+        CondPredicate::Eq(v) => vec![mk(CondPredicate::Ne(v.clone()))],
+        CondPredicate::Ne(v) => vec![mk(CondPredicate::Eq(v.clone()))],
+        CondPredicate::In(vs) => vec![mk(CondPredicate::NotIn(vs.clone()))],
+        CondPredicate::NotIn(vs) => vec![mk(CondPredicate::In(vs.clone()))],
+        CondPredicate::Range { low, high } => {
+            let mut out = Vec::new();
+            match low {
+                RangeBound::Inclusive(v) => out.push(mk(CondPredicate::Range {
+                    low: RangeBound::Unbounded,
+                    high: RangeBound::Exclusive(v.clone()),
+                })),
+                RangeBound::Exclusive(v) => out.push(mk(CondPredicate::Range {
+                    low: RangeBound::Unbounded,
+                    high: RangeBound::Inclusive(v.clone()),
+                })),
+                RangeBound::Unbounded => {}
+            }
+            match high {
+                RangeBound::Inclusive(v) => out.push(mk(CondPredicate::Range {
+                    low: RangeBound::Exclusive(v.clone()),
+                    high: RangeBound::Unbounded,
+                })),
+                RangeBound::Exclusive(v) => out.push(mk(CondPredicate::Range {
+                    low: RangeBound::Inclusive(v.clone()),
+                    high: RangeBound::Unbounded,
+                })),
+                RangeBound::Unbounded => {}
+            }
+            out
+        }
+        CondPredicate::Derived(_) => {
+            return Err(DbError::Unsupported(
+                "cannot factor a deny policy with derived-value conditions".into(),
+            ))
+        }
+    })
+}
+
+/// Factor a deny (given as its extra object conditions, beyond the owner
+/// condition) into an allow policy: returns the disjoint set of allow
+/// policies equivalent to `allow ∧ ¬deny`.
+///
+/// A deny with an empty condition list blocks the allow entirely
+/// (returns no policies). The caller is responsible for only pairing
+/// policies with matching owner/relation/querier scope.
+pub fn factor_deny(allow: &Policy, deny_conditions: &[ObjectCondition]) -> DbResult<Vec<Policy>> {
+    if deny_conditions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    // Prefix of asserted deny conditions d_1 … d_{k-1}.
+    let mut asserted: Vec<ObjectCondition> = Vec::new();
+    for d in deny_conditions {
+        for neg in negate_condition(d)? {
+            let mut p = allow.clone();
+            p.conditions.extend(asserted.iter().cloned());
+            p.conditions.push(neg);
+            out.push(p);
+        }
+        asserted.push(d.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QuerierSpec;
+    use crate::semantics::{eval_condition, policy_allows};
+    use minidb::value::{DataType, Value};
+    use minidb::{Row, TableSchema};
+
+    fn schema() -> TableSchema {
+        TableSchema::of(
+            "wifi_dataset",
+            &[
+                ("id", DataType::Int),
+                ("owner", DataType::Int),
+                ("wifi_ap", DataType::Int),
+                ("ts_time", DataType::Time),
+            ],
+        )
+    }
+
+    fn allow_all_day(owner: i64) -> Policy {
+        Policy::new(
+            owner,
+            "wifi_dataset",
+            QuerierSpec::User(1),
+            "Any",
+            vec![ObjectCondition::new(
+                "ts_time",
+                CondPredicate::between(Value::Time(8 * 3600), Value::Time(18 * 3600)),
+            )],
+        )
+    }
+
+    fn row(owner: i64, ap: i64, t: u32) -> Row {
+        vec![
+            Value::Int(0),
+            Value::Int(owner),
+            Value::Int(ap),
+            Value::Time(t),
+        ]
+    }
+
+    /// Reference semantics: allow ∧ ¬deny via direct evaluation.
+    fn reference(allow: &Policy, deny: &[ObjectCondition], s: &TableSchema, r: &Row) -> bool {
+        policy_allows(allow, s, r, None) && !deny.iter().all(|d| eval_condition(d, s, r, None))
+    }
+
+    #[test]
+    fn paper_example_office_deny() {
+        // "allow John access to my location" minus "deny when in my
+        // office (AP 1300)" → allow only at other APs.
+        let allow = allow_all_day(7);
+        let deny = vec![ObjectCondition::new(
+            "wifi_ap",
+            CondPredicate::Eq(Value::Int(1300)),
+        )];
+        let factored = factor_deny(&allow, &deny).unwrap();
+        assert_eq!(factored.len(), 1);
+        let s = schema();
+        // Visible elsewhere, hidden in the office.
+        assert!(factored
+            .iter()
+            .any(|p| policy_allows(p, &s, &row(7, 1200, 9 * 3600), None)));
+        assert!(!factored
+            .iter()
+            .any(|p| policy_allows(p, &s, &row(7, 1300, 9 * 3600), None)));
+    }
+
+    #[test]
+    fn range_deny_splits_into_two() {
+        // Deny lunch hours: the allow splits into morning and afternoon.
+        let allow = allow_all_day(7);
+        let deny = vec![ObjectCondition::new(
+            "ts_time",
+            CondPredicate::between(Value::Time(12 * 3600), Value::Time(13 * 3600)),
+        )];
+        let factored = factor_deny(&allow, &deny).unwrap();
+        assert_eq!(factored.len(), 2);
+        let s = schema();
+        let visible = |t: u32| {
+            factored
+                .iter()
+                .any(|p| policy_allows(p, &s, &row(7, 1, t), None))
+        };
+        assert!(visible(9 * 3600));
+        assert!(visible(15 * 3600));
+        assert!(!visible(12 * 3600 + 1800));
+        // Boundary: BETWEEN is inclusive, so 12:00 and 13:00 are denied.
+        assert!(!visible(12 * 3600));
+        assert!(!visible(13 * 3600));
+    }
+
+    #[test]
+    fn multi_condition_deny_expansion_is_equivalent_and_disjoint() {
+        // Deny (office AP ∧ morning): the expansion must equal A ∧ ¬D on
+        // every probe point and its policies must be pairwise disjoint.
+        let allow = allow_all_day(7);
+        let deny = vec![
+            ObjectCondition::new("wifi_ap", CondPredicate::Eq(Value::Int(1300))),
+            ObjectCondition::new(
+                "ts_time",
+                CondPredicate::between(Value::Time(9 * 3600), Value::Time(12 * 3600)),
+            ),
+        ];
+        let factored = factor_deny(&allow, &deny).unwrap();
+        let s = schema();
+        for ap in [1200i64, 1300] {
+            for t in (6 * 3600..20 * 3600).step_by(1800) {
+                let r = row(7, ap, t);
+                let got: Vec<bool> = factored
+                    .iter()
+                    .map(|p| policy_allows(p, &s, &r, None))
+                    .collect();
+                let any = got.iter().any(|b| *b);
+                assert_eq!(
+                    any,
+                    reference(&allow, &deny, &s, &r),
+                    "mismatch at ap={ap} t={t}"
+                );
+                // Disjointness: at most one factored policy accepts.
+                assert!(
+                    got.iter().filter(|b| **b).count() <= 1,
+                    "expansion overlaps at ap={ap} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconditional_deny_erases_allow() {
+        let allow = allow_all_day(7);
+        assert!(factor_deny(&allow, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn in_list_deny() {
+        let allow = allow_all_day(7);
+        let deny = vec![ObjectCondition::new(
+            "wifi_ap",
+            CondPredicate::In(vec![Value::Int(1), Value::Int(2)]),
+        )];
+        let factored = factor_deny(&allow, &deny).unwrap();
+        let s = schema();
+        assert!(!factored
+            .iter()
+            .any(|p| policy_allows(p, &s, &row(7, 1, 9 * 3600), None)));
+        assert!(factored
+            .iter()
+            .any(|p| policy_allows(p, &s, &row(7, 3, 9 * 3600), None)));
+    }
+
+    #[test]
+    fn derived_deny_rejected() {
+        let allow = allow_all_day(7);
+        let deny = vec![ObjectCondition::new(
+            "wifi_ap",
+            CondPredicate::Derived(Box::new(minidb::SelectQuery::star_from("wifi_dataset"))),
+        )];
+        assert!(factor_deny(&allow, &deny).is_err());
+    }
+
+    #[test]
+    fn half_open_range_negation() {
+        let oc = ObjectCondition::new("ts_time", CondPredicate::ge(Value::Time(3600)));
+        let neg = negate_condition(&oc).unwrap();
+        assert_eq!(neg.len(), 1);
+        let s = schema();
+        assert!(eval_condition(&neg[0], &s, &row(7, 1, 0), None));
+        assert!(!eval_condition(&neg[0], &s, &row(7, 1, 3600), None));
+    }
+}

@@ -1,0 +1,410 @@
+//! Candidate-guard generation (paper Section 4.1).
+//!
+//! Every object condition that is (a) on an indexed attribute and (b) a
+//! constant predicate is a candidate guard; identical conditions from
+//! different policies collapse into one candidate. Range conditions on the
+//! same attribute are then merged pairwise when Theorem 1's benefit test
+//!
+//! ```text
+//! ρ(oc_x ∩ oc_y) / ρ(oc_x ∪ oc_y)  >  c_e / (c_r + c_e)     (Equation 8)
+//! ```
+//!
+//! holds; disjoint ranges are never merged (Theorem 1), and the sweep over
+//! left-sorted candidates stops looking past the first non-overlapping
+//! candidate (Corollaries 1.1 and 1.2).
+
+use crate::cost::CostModel;
+use crate::policy::{CondPredicate, ObjectCondition, Policy, PolicyId};
+use minidb::catalog::TableEntry;
+use minidb::RangeBound;
+use std::collections::BTreeSet;
+
+/// A candidate guard: a guardable condition plus the policies it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateGuard {
+    /// The candidate condition.
+    pub condition: ObjectCondition,
+    /// Policies for which the condition is a valid filter (`oc_j ⟹ oc_g`).
+    pub policies: BTreeSet<PolicyId>,
+    /// Estimated matching rows `ρ(oc_g)`.
+    pub est_rows: f64,
+}
+
+/// Estimate the rows matching a condition using the table's histogram
+/// (falling back to exact index counts, then to the table size).
+pub fn estimate_condition_rows(oc: &ObjectCondition, entry: &TableEntry) -> f64 {
+    let hist = entry.histogram(&oc.attr);
+    let idx = entry.index_on(&oc.attr);
+    match &oc.pred {
+        CondPredicate::Eq(v) => hist
+            .map(|h| h.estimate_eq(v))
+            .or_else(|| idx.map(|i| i.count_eq(v) as f64))
+            .unwrap_or(entry.table.len() as f64),
+        CondPredicate::In(vs) => hist
+            .map(|h| h.estimate_in(vs))
+            .or_else(|| idx.map(|i| vs.iter().map(|v| i.count_eq(v) as f64).sum()))
+            .unwrap_or(entry.table.len() as f64),
+        CondPredicate::Range { low, high } => hist
+            .map(|h| h.estimate_range(low, high))
+            .or_else(|| idx.map(|i| i.count_range(low, high) as f64))
+            .unwrap_or(entry.table.len() as f64),
+        // Non-guardable shapes: estimate as the full table (never chosen).
+        CondPredicate::Ne(_) | CondPredicate::NotIn(_) | CondPredicate::Derived(_) => {
+            entry.table.len() as f64
+        }
+    }
+}
+
+/// True iff the condition can serve as a guard for the relation: simple,
+/// constant, and over an indexed attribute (Section 3.2's two properties).
+pub fn is_guardable(oc: &ObjectCondition, entry: &TableEntry) -> bool {
+    if !entry.has_index(&oc.attr) {
+        return false;
+    }
+    matches!(
+        oc.pred,
+        CondPredicate::Eq(_) | CondPredicate::In(_) | CondPredicate::Range { .. }
+    )
+}
+
+/// Generate the candidate set `CG` for a policy list.
+pub fn generate_candidates(
+    policies: &[&Policy],
+    entry: &TableEntry,
+    cost: &CostModel,
+) -> Vec<CandidateGuard> {
+    // Step 1: collect guardable conditions, collapsing identical ones.
+    let mut exact: Vec<CandidateGuard> = Vec::new();
+    for p in policies {
+        for oc in p.object_conditions() {
+            if !is_guardable(&oc, entry) {
+                continue;
+            }
+            if let Some(existing) = exact
+                .iter_mut()
+                .find(|c| c.condition == oc)
+            {
+                existing.policies.insert(p.id);
+            } else {
+                let est = estimate_condition_rows(&oc, entry);
+                let mut set = BTreeSet::new();
+                set.insert(p.id);
+                exact.push(CandidateGuard {
+                    condition: oc,
+                    policies: set,
+                    est_rows: est,
+                });
+            }
+        }
+    }
+
+    // Step 2: split into range candidates (mergeable) and the rest.
+    let (ranges, mut rest): (Vec<CandidateGuard>, Vec<CandidateGuard>) = exact
+        .into_iter()
+        .partition(|c| matches!(c.condition.pred, CondPredicate::Range { .. }));
+
+    // Step 3: per attribute, sort ranges by left bound and sweep-merge.
+    let mut by_attr: Vec<(String, Vec<CandidateGuard>)> = Vec::new();
+    for c in ranges {
+        match by_attr.iter_mut().find(|(a, _)| *a == c.condition.attr) {
+            Some((_, v)) => v.push(c),
+            None => by_attr.push((c.condition.attr.clone(), vec![c])),
+        }
+    }
+    for (_, mut cands) in by_attr {
+        cands.sort_by(|a, b| {
+            low_key(&a.condition)
+                .partial_cmp(&low_key(&b.condition))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let merged = sweep_merge(cands, entry, cost);
+        rest.extend(merged);
+    }
+    rest
+}
+
+/// Numeric position of a range's low bound (−∞ for unbounded).
+fn low_key(oc: &ObjectCondition) -> f64 {
+    match &oc.pred {
+        CondPredicate::Range { low, .. } => match low {
+            RangeBound::Unbounded => f64::NEG_INFINITY,
+            RangeBound::Inclusive(v) | RangeBound::Exclusive(v) => {
+                v.numeric_key().unwrap_or(f64::NEG_INFINITY)
+            }
+        },
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+fn bounds(oc: &ObjectCondition) -> (&RangeBound, &RangeBound) {
+    match &oc.pred {
+        CondPredicate::Range { low, high } => (low, high),
+        _ => unreachable!("sweep_merge only sees ranges"),
+    }
+}
+
+/// Take the earlier of two low bounds (for the union).
+fn min_low(a: &RangeBound, b: &RangeBound) -> RangeBound {
+    match (a, b) {
+        (RangeBound::Unbounded, _) | (_, RangeBound::Unbounded) => RangeBound::Unbounded,
+        _ => {
+            let (ka, kb) = (low_val(a), low_val(b));
+            if ka <= kb { a.clone() } else { b.clone() }
+        }
+    }
+}
+
+/// Take the later of two low bounds (for the intersection).
+fn max_low(a: &RangeBound, b: &RangeBound) -> RangeBound {
+    match (a, b) {
+        (RangeBound::Unbounded, other) | (other, RangeBound::Unbounded) => other.clone(),
+        _ => {
+            let (ka, kb) = (low_val(a), low_val(b));
+            if ka >= kb { a.clone() } else { b.clone() }
+        }
+    }
+}
+
+fn min_high(a: &RangeBound, b: &RangeBound) -> RangeBound {
+    match (a, b) {
+        (RangeBound::Unbounded, other) | (other, RangeBound::Unbounded) => other.clone(),
+        _ => {
+            let (ka, kb) = (high_val(a), high_val(b));
+            if ka <= kb { a.clone() } else { b.clone() }
+        }
+    }
+}
+
+fn max_high(a: &RangeBound, b: &RangeBound) -> RangeBound {
+    match (a, b) {
+        (RangeBound::Unbounded, _) | (_, RangeBound::Unbounded) => RangeBound::Unbounded,
+        _ => {
+            let (ka, kb) = (high_val(a), high_val(b));
+            if ka >= kb { a.clone() } else { b.clone() }
+        }
+    }
+}
+
+fn low_val(b: &RangeBound) -> f64 {
+    match b {
+        RangeBound::Unbounded => f64::NEG_INFINITY,
+        RangeBound::Inclusive(v) | RangeBound::Exclusive(v) => {
+            v.numeric_key().unwrap_or(f64::NEG_INFINITY)
+        }
+    }
+}
+
+fn high_val(b: &RangeBound) -> f64 {
+    match b {
+        RangeBound::Unbounded => f64::INFINITY,
+        RangeBound::Inclusive(v) | RangeBound::Exclusive(v) => {
+            v.numeric_key().unwrap_or(f64::INFINITY)
+        }
+    }
+}
+
+/// True iff two range conditions on the same attribute overlap.
+fn overlaps(a: &ObjectCondition, b: &ObjectCondition) -> bool {
+    let (a_lo, a_hi) = bounds(a);
+    let (b_lo, b_hi) = bounds(b);
+    // [a_lo, a_hi] ∩ [b_lo, b_hi] ≠ ∅ ⇔ max(lo) <= min(hi) numerically.
+    low_val(&max_low(a_lo, b_lo)) <= high_val(&min_high(a_hi, b_hi))
+}
+
+/// The sweep of Section 4.1: for each candidate, try merging with the
+/// following (left-sorted) candidates while they overlap; once a candidate
+/// fails to overlap, Corollary 1.2 guarantees no later candidate merges
+/// either.
+fn sweep_merge(
+    cands: Vec<CandidateGuard>,
+    entry: &TableEntry,
+    cost: &CostModel,
+) -> Vec<CandidateGuard> {
+    let threshold = cost.merge_threshold();
+    let mut items: Vec<Option<CandidateGuard>> = cands.into_iter().map(Some).collect();
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let Some(mut cur) = items[i].take() else {
+            continue;
+        };
+        for slot in items.iter_mut().skip(i + 1) {
+            let Some(next) = slot.as_ref() else { continue };
+            if !overlaps(&cur.condition, &next.condition) {
+                // Sorted by left bound ⇒ nothing later overlaps (Cor 1.2).
+                break;
+            }
+            // Theorem 1 benefit test on the overlap.
+            let (c_lo, c_hi) = bounds(&cur.condition);
+            let (n_lo, n_hi) = bounds(&next.condition);
+            let inter = ObjectCondition::new(
+                cur.condition.attr.clone(),
+                CondPredicate::Range {
+                    low: max_low(c_lo, n_lo),
+                    high: min_high(c_hi, n_hi),
+                },
+            );
+            let union = ObjectCondition::new(
+                cur.condition.attr.clone(),
+                CondPredicate::Range {
+                    low: min_low(c_lo, n_lo),
+                    high: max_high(c_hi, n_hi),
+                },
+            );
+            let rho_inter = estimate_condition_rows(&inter, entry);
+            let rho_union = estimate_condition_rows(&union, entry).max(f64::EPSILON);
+            if rho_inter / rho_union > threshold {
+                let next = slot.take().unwrap();
+                cur.policies.extend(next.policies);
+                cur.condition = union;
+                cur.est_rows = rho_union;
+            }
+        }
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::tests::{mk_policy, wifi_db};
+    use minidb::value::Value;
+
+    fn time_range(lo_h: u32, hi_h: u32) -> ObjectCondition {
+        ObjectCondition::new(
+            "ts_time",
+            CondPredicate::between(Value::Time(lo_h * 3600), Value::Time(hi_h * 3600)),
+        )
+    }
+
+    #[test]
+    fn owner_condition_always_candidate() {
+        let db = wifi_db(1000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        let p = mk_policy(1, 3, vec![]);
+        let cands = generate_candidates(&[&p], entry, &CostModel::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].condition.attr, "owner");
+        assert!(cands[0].policies.contains(&1));
+    }
+
+    #[test]
+    fn identical_conditions_collapse() {
+        let db = wifi_db(1000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        let p1 = mk_policy(1, 3, vec![time_range(9, 10)]);
+        let p2 = mk_policy(2, 4, vec![time_range(9, 10)]);
+        let cands = generate_candidates(&[&p1, &p2], entry, &CostModel::default());
+        // owner=3, owner=4, and one shared time range.
+        let time_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.condition.attr == "ts_time")
+            .collect();
+        assert_eq!(time_cands.len(), 1);
+        assert_eq!(time_cands[0].policies.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_ranges_never_merge() {
+        let db = wifi_db(5000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        let p1 = mk_policy(1, 1, vec![time_range(1, 2)]);
+        let p2 = mk_policy(2, 2, vec![time_range(20, 21)]);
+        let cands = generate_candidates(&[&p1, &p2], entry, &CostModel::default());
+        let time_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.condition.attr == "ts_time")
+            .collect();
+        assert_eq!(time_cands.len(), 2, "Theorem 1: disjoint ranges stay split");
+    }
+
+    #[test]
+    fn heavily_overlapping_ranges_merge() {
+        let db = wifi_db(5000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        // [9,11] and [9.25,11.25] hours: overlap ≈ 87% of the union, far
+        // above the ~threshold, so they merge into one candidate.
+        let p1 = mk_policy(1, 1, vec![time_range(9, 11)]);
+        let p2 = mk_policy(
+            2,
+            2,
+            vec![ObjectCondition::new(
+                "ts_time",
+                CondPredicate::between(
+                    Value::Time(9 * 3600 + 900),
+                    Value::Time(11 * 3600 + 900),
+                ),
+            )],
+        );
+        let cands = generate_candidates(&[&p1, &p2], entry, &CostModel::default());
+        let time_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.condition.attr == "ts_time")
+            .collect();
+        assert_eq!(time_cands.len(), 1, "overlapping ranges should merge");
+        assert_eq!(time_cands[0].policies.len(), 2);
+    }
+
+    #[test]
+    fn barely_overlapping_ranges_do_not_merge() {
+        let db = wifi_db(5000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        // [0,10] and [9.9,20] hours: overlap is ~0.5% of the union, far
+        // below the threshold.
+        let p1 = mk_policy(1, 1, vec![time_range(0, 10)]);
+        let p2 = mk_policy(
+            2,
+            2,
+            vec![ObjectCondition::new(
+                "ts_time",
+                CondPredicate::between(Value::Time(10 * 3600 - 360), Value::Time(20 * 3600)),
+            )],
+        );
+        let cands = generate_candidates(&[&p1, &p2], entry, &CostModel::default());
+        let time_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.condition.attr == "ts_time")
+            .collect();
+        assert_eq!(time_cands.len(), 2, "marginal overlap must not merge");
+    }
+
+    #[test]
+    fn transitive_merge_through_chain() {
+        let db = wifi_db(5000, 10);
+        let entry = db.table("wifi_dataset").unwrap();
+        // Three staggered heavily-overlapping ranges: a↔b and b↔c overlap
+        // strongly; after merging a⊕b, the widened range still overlaps c
+        // strongly enough to absorb it.
+        let p1 = mk_policy(1, 1, vec![time_range(9, 12)]);
+        let p2 = mk_policy(2, 2, vec![time_range(10, 13)]);
+        let p3 = mk_policy(3, 3, vec![time_range(11, 14)]);
+        let cands = generate_candidates(&[&p1, &p2, &p3], entry, &CostModel::default());
+        let time_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.condition.attr == "ts_time")
+            .collect();
+        assert_eq!(time_cands.len(), 1);
+        assert_eq!(time_cands[0].policies.len(), 3);
+    }
+
+    #[test]
+    fn unindexed_attr_not_guardable() {
+        let db = wifi_db(100, 5);
+        let entry = db.table("wifi_dataset").unwrap();
+        let oc = ObjectCondition::new("id", CondPredicate::Eq(Value::Int(5)));
+        assert!(!is_guardable(&oc, entry)); // `id` has no index in wifi_db
+        let oc2 = ObjectCondition::new("owner", CondPredicate::Eq(Value::Int(5)));
+        assert!(is_guardable(&oc2, entry));
+    }
+
+    #[test]
+    fn derived_conditions_not_guardable() {
+        let db = wifi_db(100, 5);
+        let entry = db.table("wifi_dataset").unwrap();
+        let oc = ObjectCondition::new(
+            "owner",
+            CondPredicate::Derived(Box::new(minidb::SelectQuery::star_from("wifi_dataset"))),
+        );
+        assert!(!is_guardable(&oc, entry));
+    }
+}

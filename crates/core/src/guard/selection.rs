@@ -1,0 +1,300 @@
+//! Guard selection — Algorithm 1 of the paper (Section 4.2).
+//!
+//! Selecting the cost-minimal subset of candidate guards covering every
+//! policy exactly once is NP-hard (reduction from weighted Set-Cover), so
+//! the paper uses a greedy heuristic ranked by *utility* — benefit per unit
+//! read cost. A priority queue holds the candidates; when a candidate is
+//! selected, every other candidate sharing policies with it is shrunk, its
+//! utility recomputed, and reinserted. We implement the queue with lazy
+//! invalidation (version counters) rather than in-place removal.
+
+use super::candidates::{estimate_condition_rows, CandidateGuard};
+use super::Guard;
+use crate::cost::CostModel;
+use crate::policy::{CondPredicate, ObjectCondition, Policy, PolicyId, OWNER_ATTR};
+use minidb::catalog::TableEntry;
+use minidb::Value;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+
+/// Heap entry ordered by utility (then deterministic tie-breaks).
+struct HeapEntry {
+    utility: f64,
+    idx: usize,
+    version: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.utility
+            .total_cmp(&other.utility)
+            // Deterministic tie-break: lower candidate index wins.
+            .then_with(|| other.idx.cmp(&self.idx))
+            .then_with(|| other.version.cmp(&self.version))
+    }
+}
+
+struct CandState {
+    condition: ObjectCondition,
+    policies: BTreeSet<PolicyId>,
+    est_rows: f64,
+    version: u64,
+}
+
+/// Run Algorithm 1: pick guards until every policy is covered.
+///
+/// Policies left uncovered by any candidate (possible only when the owner
+/// attribute is not indexed, violating the paper's data-model assumption)
+/// are grouped into per-owner fallback guards so enforcement never loses a
+/// policy.
+pub fn select_guards(
+    candidates: Vec<CandidateGuard>,
+    policies: &[&Policy],
+    entry: &TableEntry,
+    cost: &CostModel,
+) -> Vec<Guard> {
+    let table_rows = entry.table.len() as f64;
+    let mut states: Vec<CandState> = candidates
+        .into_iter()
+        .map(|c| CandState {
+            condition: c.condition,
+            policies: c.policies,
+            est_rows: c.est_rows,
+            version: 0,
+        })
+        .collect();
+
+    // policy → candidate indexes containing it.
+    let mut containing: HashMap<PolicyId, Vec<usize>> = HashMap::new();
+    for (i, s) in states.iter().enumerate() {
+        for pid in &s.policies {
+            containing.entry(*pid).or_default().push(i);
+        }
+    }
+
+    let mut heap: BinaryHeap<HeapEntry> = states
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| HeapEntry {
+            utility: cost.guard_utility(s.est_rows, s.policies.len(), table_rows),
+            idx,
+            version: 0,
+        })
+        .collect();
+
+    let mut selected: Vec<Guard> = Vec::new();
+    let mut covered: BTreeSet<PolicyId> = BTreeSet::new();
+
+    while let Some(entry_) = heap.pop() {
+        let state = &states[entry_.idx];
+        if entry_.version != state.version || state.policies.is_empty() {
+            continue; // stale heap entry
+        }
+        // Select this candidate.
+        let guard_policies: Vec<PolicyId> = state.policies.iter().copied().collect();
+        selected.push(Guard {
+            condition: state.condition.clone(),
+            policies: guard_policies.clone(),
+            est_rows: state.est_rows,
+        });
+        covered.extend(guard_policies.iter().copied());
+        let selected_idx = entry_.idx;
+        states[selected_idx].policies.clear();
+        states[selected_idx].version += 1;
+
+        // Shrink intersecting candidates and reinsert with new utility.
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for pid in &guard_policies {
+            if let Some(idxs) = containing.get(pid) {
+                for &j in idxs {
+                    if j != selected_idx {
+                        touched.insert(j);
+                    }
+                }
+            }
+        }
+        for j in touched {
+            let s = &mut states[j];
+            let before = s.policies.len();
+            for pid in &guard_policies {
+                s.policies.remove(pid);
+            }
+            if s.policies.len() != before {
+                s.version += 1;
+                if !s.policies.is_empty() {
+                    heap.push(HeapEntry {
+                        utility: cost.guard_utility(s.est_rows, s.policies.len(), table_rows),
+                        idx: j,
+                        version: s.version,
+                    });
+                }
+            }
+        }
+    }
+
+    // Fallback for uncovered policies (no guardable condition at all).
+    let uncovered: Vec<&&Policy> = policies.iter().filter(|p| !covered.contains(&p.id)).collect();
+    if !uncovered.is_empty() {
+        let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
+        for p in uncovered {
+            by_owner.entry(p.owner).or_default().push(p.id);
+        }
+        let mut owners: Vec<i64> = by_owner.keys().copied().collect();
+        owners.sort_unstable();
+        for owner in owners {
+            let mut ids = by_owner.remove(&owner).unwrap();
+            ids.sort_unstable();
+            let cond = ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
+            let est_rows = estimate_condition_rows(&cond, entry);
+            selected.push(Guard {
+                condition: cond,
+                policies: ids,
+                est_rows,
+            });
+        }
+    }
+
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::candidates::generate_candidates;
+    use crate::guard::tests::{mk_policy, wifi_db};
+    use crate::policy::ObjectCondition;
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let db = wifi_db(4000, 16);
+        let entry = db.table("wifi_dataset").unwrap();
+        // Policies share a common AP condition plus per-owner conditions —
+        // the shared condition should become a high-utility guard.
+        let policies: Vec<_> = (0..30)
+            .map(|i| {
+                mk_policy(
+                    i,
+                    (i % 6) as i64,
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1000 + (i % 2) as i64)),
+                    )],
+                )
+            })
+            .collect();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let cost = CostModel::default();
+        let cands = generate_candidates(&refs, entry, &cost);
+        let guards = select_guards(cands, &refs, entry, &cost);
+        let mut seen = BTreeSet::new();
+        for g in &guards {
+            for pid in &g.policies {
+                assert!(seen.insert(*pid), "policy {pid} covered twice");
+            }
+        }
+        assert_eq!(seen.len(), 30, "all policies covered");
+    }
+
+    #[test]
+    fn shared_condition_groups_policies() {
+        let db = wifi_db(4000, 40);
+        let entry = db.table("wifi_dataset").unwrap();
+        // 20 owners (each matching ~100 rows) with one policy on the same
+        // selective AP (~250 rows): the AP condition covers all 20
+        // policies at the read cost of a single guard — far cheaper than
+        // 20 per-owner guards reading ~2000 rows.
+        let policies: Vec<_> = (0..20)
+            .map(|i| {
+                mk_policy(
+                    i,
+                    i as i64,
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1003)),
+                    )],
+                )
+            })
+            .collect();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let cost = CostModel::default();
+        let cands = generate_candidates(&refs, entry, &cost);
+        let guards = select_guards(cands, &refs, entry, &cost);
+        assert_eq!(guards.len(), 1, "one shared guard expected, got {guards:?}");
+        assert_eq!(guards[0].condition.attr, "wifi_ap");
+        assert_eq!(guards[0].partition_size(), 20);
+    }
+
+    #[test]
+    fn selective_owner_guards_beat_broad_shared_condition() {
+        let db = wifi_db(4000, 2000);
+        let entry = db.table("wifi_dataset").unwrap();
+        // Each owner matches ~2 rows; a shared time-range condition
+        // covering 100% of the table is useless as a guard.
+        let policies: Vec<_> = (0..5)
+            .map(|i| {
+                mk_policy(
+                    i,
+                    i as i64,
+                    vec![ObjectCondition::new(
+                        "ts_time",
+                        CondPredicate::between(Value::Time(0), Value::Time(86399)),
+                    )],
+                )
+            })
+            .collect();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let cost = CostModel::default();
+        let cands = generate_candidates(&refs, entry, &cost);
+        let guards = select_guards(cands, &refs, entry, &cost);
+        assert!(
+            guards.iter().all(|g| g.condition.attr == "owner"),
+            "owner guards expected, got {guards:?}"
+        );
+        assert_eq!(guards.len(), 5);
+    }
+
+    #[test]
+    fn empty_policy_set_yields_no_guards() {
+        let db = wifi_db(100, 4);
+        let entry = db.table("wifi_dataset").unwrap();
+        let cost = CostModel::default();
+        let guards = select_guards(Vec::new(), &[], entry, &cost);
+        assert!(guards.is_empty());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let db = wifi_db(2000, 20);
+        let entry = db.table("wifi_dataset").unwrap();
+        let policies: Vec<_> = (0..25)
+            .map(|i| {
+                mk_policy(
+                    i,
+                    (i % 7) as i64,
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1000 + (i % 3) as i64)),
+                    )],
+                )
+            })
+            .collect();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let cost = CostModel::default();
+        let run = || {
+            let cands = generate_candidates(&refs, entry, &cost);
+            select_guards(cands, &refs, entry, &cost)
+        };
+        assert_eq!(run(), run(), "selection must be deterministic");
+    }
+}

@@ -1,0 +1,48 @@
+//! `sieve-core` — the SIEVE middleware (Pappachan et al., VLDB 2020).
+//!
+//! SIEVE makes fine-grained access control scale to thousands of per-user
+//! policies by combining two reductions (paper Section 3.2):
+//!
+//! 1. **Fewer policies per tuple** — filter policies by query metadata
+//!    ([`filter`]), then use tuple context inside the ∆ operator
+//!    ([`delta`]) so each tuple is only checked against its owner's
+//!    policies.
+//! 2. **Fewer tuples per policy** — factor the policy set into *guarded
+//!    expressions* ([`guard`]): cheap index-supported predicates, each
+//!    guarding a partition of the policies, selected by the cost model
+//!    ([`cost`]) via candidate merging (Theorem 1) and utility-greedy set
+//!    cover (Algorithm 1).
+//!
+//! The [`middleware::Sieve`] façade ties it together: it intercepts a
+//! query plus its metadata, rewrites it ([`rewrite`]) with `WITH` clauses,
+//! index hints and inline-vs-∆ choices, and executes it on the underlying
+//! [`minidb::Database`]. [`baselines`] implements the paper's comparison
+//! strategies and [`semantics`] the reference oracle both are tested
+//! against. [`dynamic`] adds the Section 6 machinery for evolving policy
+//! sets, and [`store`] persists policies and guards as regular relations
+//! (`rP`, `rOC`, `rGE`, `rGG`, `rGP`). [`deny`] folds deny policies into
+//! the allow-only model the enforcement path assumes.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cost;
+pub mod delta;
+pub mod deny;
+pub mod dynamic;
+pub mod filter;
+pub mod guard;
+pub mod middleware;
+pub mod policy;
+pub mod rewrite;
+pub mod semantics;
+pub mod store;
+
+pub use cost::{AccessStrategy, CostModel, StrategyCosts};
+pub use filter::{policy_applies, relevant_policies, GroupDirectory};
+pub use guard::{Guard, GuardSelectionStrategy, GuardedExpression};
+pub use middleware::{Sieve, SieveOptions};
+pub use policy::{
+    Action, CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec, QueryMetadata,
+    UserId, OWNER_ATTR, PURPOSE_ANY,
+};

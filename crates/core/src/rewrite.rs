@@ -1,0 +1,579 @@
+//! Query rewriting (paper Sections 5.3–5.6).
+//!
+//! For every protected relation in a query, the rewriter builds a `WITH`
+//! clause selecting exactly the tuples the querier may see, and repoints
+//! the query at it:
+//!
+//! ```sql
+//! WITH r_sieve AS (
+//!   SELECT * FROM r FORCE INDEX (g1, …, gn)
+//!   WHERE (oc_g1 AND qpred AND (OC_a OR OC_b OR …))
+//!      OR (oc_g2 AND qpred AND delta(17, col_0, …))
+//!      OR …
+//! ) SELECT … FROM r_sieve …
+//! ```
+//!
+//! Three decisions are made per relation, all cost-model driven:
+//! the access strategy (`LinearScan` / `IndexQuery` / `IndexGuards`,
+//! Section 5.5), per-guard inline-vs-∆ (Section 5.4), and whether to push
+//! the query's own selective predicate into the guard branches
+//! (Section 5.5).
+
+use crate::cost::{AccessStrategy, CostModel};
+use crate::delta::{delta_call_expr, DeltaRegistry};
+use crate::guard::GuardedExpression;
+use crate::policy::{Policy, PolicyId};
+use minidb::error::DbResult;
+use minidb::expr::{ColumnRef, Expr};
+use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
+use minidb::planner::{best_sargable_probe, classify_predicate};
+use minidb::{Database, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// When to route a guard's partition through the ∆ operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaMode {
+    /// Cost-model decision per guard (the paper's behaviour).
+    #[default]
+    Auto,
+    /// Always inline policy DNFs (Guard&Inlining everywhere).
+    Never,
+    /// Always call ∆ (except partitions with derived-value policies).
+    Always,
+}
+
+/// Rewrite knobs (defaults reproduce the paper's SIEVE).
+#[derive(Debug, Clone, Default)]
+pub struct RewriteOptions {
+    /// Inline vs ∆ policy.
+    pub delta_mode: DeltaMode,
+    /// Disable pushing the query's selective predicate into guard branches
+    /// (Section 5.5). On by default; the ablation bench turns it off.
+    pub no_predicate_pushdown: bool,
+    /// Force a specific access strategy instead of the cost model's pick.
+    pub forced_strategy: Option<AccessStrategy>,
+}
+
+/// What the rewriter decided for one protected relation.
+#[derive(Debug, Clone)]
+pub struct RelationRewrite {
+    /// Base relation name.
+    pub relation: String,
+    /// Name of the generated WITH clause.
+    pub with_name: String,
+    /// Chosen access strategy.
+    pub strategy: AccessStrategy,
+    /// Number of guards in the guarded expression.
+    pub guard_count: usize,
+    /// How many guards were routed through ∆.
+    pub delta_guards: usize,
+    /// Σ ρ(G_i): estimated rows the guards read.
+    pub est_guard_rows: f64,
+    /// Optimizer estimate for the query predicate (None: not sargable).
+    pub est_query_rows: Option<f64>,
+}
+
+/// A rewritten query plus the per-relation decisions.
+#[derive(Debug, Clone)]
+pub struct RewriteOutput {
+    /// The executable rewritten query.
+    pub query: SelectQuery,
+    /// Decisions, one per protected relation occurrence.
+    pub relations: Vec<RelationRewrite>,
+}
+
+/// Replace `alias.col` references with bare `col` references so an outer
+/// predicate can move inside a single-relation WITH body.
+fn strip_alias(e: &Expr, alias: &str) -> Expr {
+    fn map(e: &Expr, alias: &str) -> Expr {
+        match e {
+            Expr::Column(c) if c.table.as_deref() == Some(alias) => {
+                Expr::Column(ColumnRef::bare(c.column.clone()))
+            }
+            Expr::Column(_) | Expr::Literal(_) => e.clone(),
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op: *op,
+                lhs: Box::new(map(lhs, alias)),
+                rhs: Box::new(map(rhs, alias)),
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(map(expr, alias)),
+                low: Box::new(map(low, alias)),
+                high: Box::new(map(high, alias)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(map(expr, alias)),
+                list: list.iter().map(|x| map(x, alias)).collect(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(map(expr, alias)),
+                negated: *negated,
+            },
+            Expr::And(v) => Expr::And(v.iter().map(|x| map(x, alias)).collect()),
+            Expr::Or(v) => Expr::Or(v.iter().map(|x| map(x, alias)).collect()),
+            Expr::Not(x) => Expr::Not(Box::new(map(x, alias))),
+            Expr::Udf { name, args } => Expr::Udf {
+                name: name.clone(),
+                args: args.iter().map(|x| map(x, alias)).collect(),
+            },
+            Expr::ScalarSubquery(_) => e.clone(),
+        }
+    }
+    map(e, alias)
+}
+
+/// Rewrite a query under the guarded expressions of its protected
+/// relations. `guarded` maps relation name → the (fresh) guarded
+/// expression for the querier/purpose; `by_id` resolves policy ids.
+pub fn rewrite_query(
+    db: &Database,
+    delta: &DeltaRegistry,
+    original: &SelectQuery,
+    guarded: &HashMap<String, GuardedExpression>,
+    by_id: &HashMap<PolicyId, &Policy>,
+    cost: &CostModel,
+    opts: &RewriteOptions,
+) -> DbResult<RewriteOutput> {
+    let mut out_query = original.clone();
+    let mut decisions = Vec::new();
+
+    // FROM schemas for predicate classification (placeholders for derived
+    // and CTE sources, which carry no policies here).
+    let mut table_schemas = Vec::new();
+    for tref in &original.from {
+        let schema = match &tref.source {
+            TableSource::Named(name) if db.has_table(name) => db.table(name)?.schema().clone(),
+            _ => Arc::new(minidb::TableSchema::new(tref.alias.clone(), vec![])),
+        };
+        table_schemas.push((tref.alias.clone(), schema));
+    }
+    let classified = original
+        .predicate
+        .as_ref()
+        .map(|p| classify_predicate(p, &table_schemas));
+
+    // Relations that appear more than once share one WITH clause without
+    // predicate pushdown (the paper's note in Section 5.3).
+    let mut occurrence_count: HashMap<&str, usize> = HashMap::new();
+    for tref in &original.from {
+        if let TableSource::Named(name) = &tref.source {
+            *occurrence_count.entry(name.as_str()).or_insert(0) += 1;
+        }
+    }
+
+    let mut created_with: HashMap<String, String> = HashMap::new(); // relation → with name
+    let mut new_withs: Vec<WithClause> = Vec::new();
+
+    for (i, tref) in original.from.iter().enumerate() {
+        let TableSource::Named(rel) = &tref.source else {
+            continue;
+        };
+        let Some(ge) = guarded.get(rel) else {
+            continue;
+        };
+        if let Some(existing) = created_with.get(rel) {
+            out_query.from[i] = TableRef {
+                source: TableSource::Named(existing.clone()),
+                alias: tref.alias.clone(),
+                hint: IndexHint::None,
+            };
+            continue;
+        }
+
+        let entry = db.table(rel)?;
+        let schema = entry.schema();
+        let shared = occurrence_count.get(rel.as_str()).copied().unwrap_or(1) > 1;
+
+        // Local query predicate for this alias, moved to bare columns.
+        let local_bare: Option<Expr> = if shared {
+            None
+        } else {
+            classified
+                .as_ref()
+                .and_then(|c| c.local_predicate(&tref.alias))
+                .map(|p| strip_alias(&p, &tref.alias))
+        };
+
+        // Optimizer estimate for the query predicate (ρ(p), Section 5.5).
+        let query_probe = local_bare
+            .as_ref()
+            .and_then(|p| best_sargable_probe(entry, rel, p));
+        let est_query_rows = query_probe.as_ref().map(|p| p.estimate_rows(entry));
+
+        let est_guard_rows = ge.total_guard_rows();
+        let strategy = opts.forced_strategy.unwrap_or_else(|| {
+            cost.strategy_costs(entry.table.len() as f64, est_guard_rows, est_query_rows)
+                .best()
+        });
+
+        // Build one branch per guard.
+        let push_qpred = !opts.no_predicate_pushdown
+            && strategy == AccessStrategy::IndexGuards
+            && local_bare.is_some();
+        let mut branches = Vec::with_capacity(ge.guards.len());
+        let mut delta_guards = 0usize;
+        for g in &ge.guards {
+            let partition: Vec<&Policy> = g
+                .policies
+                .iter()
+                .filter_map(|id| by_id.get(id).copied())
+                .collect();
+            let has_derived = partition.iter().any(|p| p.has_derived_condition());
+            let distinct_owners = {
+                let mut owners: Vec<i64> = partition.iter().map(|p| p.owner).collect();
+                owners.sort_unstable();
+                owners.dedup();
+                owners.len()
+            };
+            let use_delta = !has_derived
+                && match opts.delta_mode {
+                    DeltaMode::Never => false,
+                    DeltaMode::Always => true,
+                    DeltaMode::Auto => cost.prefer_delta(partition.len(), distinct_owners),
+                };
+            let partition_expr = if use_delta {
+                delta_guards += 1;
+                let key = delta.register_partition(schema, &partition)?;
+                delta_call_expr(key, schema)
+            } else {
+                Expr::any(partition.iter().map(|p| p.to_expr()).collect())
+            };
+            let mut parts = vec![g.condition.to_expr()];
+            if push_qpred {
+                parts.push(local_bare.clone().expect("push_qpred implies local"));
+            }
+            parts.push(partition_expr);
+            branches.push(Expr::all(parts));
+        }
+
+        // Assemble the WITH body per strategy.
+        let guard_or = Expr::any(branches);
+        let (body_pred, hint) = match strategy {
+            AccessStrategy::IndexGuards => {
+                let mut attrs: Vec<String> =
+                    ge.guards.iter().map(|g| g.condition.attr.clone()).collect();
+                attrs.sort_unstable();
+                attrs.dedup();
+                (guard_or, IndexHint::Force(attrs))
+            }
+            AccessStrategy::IndexQuery => {
+                let pred = match &local_bare {
+                    Some(q) => Expr::and(q.clone(), guard_or),
+                    None => guard_or,
+                };
+                let hint = query_probe
+                    .as_ref()
+                    .map(|p| IndexHint::Force(vec![p.column().to_string()]))
+                    .unwrap_or(IndexHint::None);
+                (pred, hint)
+            }
+            AccessStrategy::LinearScan => {
+                let pred = match &local_bare {
+                    Some(q) => Expr::and(q.clone(), guard_or),
+                    None => guard_or,
+                };
+                (pred, IndexHint::IgnoreAll)
+            }
+        };
+
+        let with_name = format!("{rel}_sieve");
+        new_withs.push(WithClause {
+            name: with_name.clone(),
+            query: SelectQuery {
+                with: vec![],
+                select: vec![minidb::SelectItem::Star],
+                from: vec![TableRef {
+                    source: TableSource::Named(rel.clone()),
+                    alias: rel.clone(),
+                    hint,
+                }],
+                predicate: Some(body_pred),
+                group_by: vec![],
+                limit: None,
+            },
+        });
+        created_with.insert(rel.clone(), with_name.clone());
+        out_query.from[i] = TableRef {
+            source: TableSource::Named(with_name.clone()),
+            alias: tref.alias.clone(),
+            hint: IndexHint::None,
+        };
+        decisions.push(RelationRewrite {
+            relation: rel.clone(),
+            with_name,
+            strategy,
+            guard_count: ge.guards.len(),
+            delta_guards,
+            est_guard_rows,
+            est_query_rows,
+        });
+    }
+
+    // New WITH clauses go first so the original ones (if any) may refer to
+    // base tables untouched; the rewritten FROM entries refer to ours.
+    let mut with = new_withs;
+    with.extend(out_query.with.drain(..));
+    out_query.with = with;
+
+    Ok(RewriteOutput {
+        query: out_query,
+        relations: decisions,
+    })
+}
+
+/// Convenience used by tests and baselines: constant FALSE (deny all).
+pub fn deny_all_expr() -> Expr {
+    Expr::Literal(Value::Bool(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{generate_guarded_expression, GuardSelectionStrategy};
+    use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
+    use minidb::value::DataType;
+    use minidb::{DbProfile, TableSchema};
+
+    fn setup() -> (Database, Vec<Policy>) {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        db.create_table(TableSchema::of(
+            "wifi_dataset",
+            &[
+                ("id", DataType::Int),
+                ("owner", DataType::Int),
+                ("wifi_ap", DataType::Int),
+                ("ts_time", DataType::Time),
+            ],
+        ))
+        .unwrap();
+        for i in 0..3000i64 {
+            db.insert(
+                "wifi_dataset",
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 60),
+                    Value::Int(1000 + i % 12),
+                    Value::Time(((i * 97) % 86400) as u32),
+                ],
+            )
+            .unwrap();
+        }
+        for col in ["owner", "wifi_ap", "ts_time"] {
+            db.create_index("wifi_dataset", col).unwrap();
+        }
+        db.analyze("wifi_dataset").unwrap();
+        let policies: Vec<Policy> = (0..12)
+            .map(|i| {
+                let mut p = Policy::new(
+                    (i % 6) as i64,
+                    "wifi_dataset",
+                    QuerierSpec::User(999),
+                    "Any",
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1000 + (i % 3) as i64)),
+                    )],
+                );
+                p.id = i + 1;
+                p
+            })
+            .collect();
+        (db, policies)
+    }
+
+    fn guarded_for(
+        db: &Database,
+        policies: &[Policy],
+    ) -> (HashMap<String, GuardedExpression>, CostModel) {
+        let cost = CostModel::default();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let ge = generate_guarded_expression(
+            &refs,
+            db.table("wifi_dataset").unwrap(),
+            &cost,
+            GuardSelectionStrategy::CostOptimal,
+            999,
+            "Any",
+            "wifi_dataset",
+        );
+        let mut m = HashMap::new();
+        m.insert("wifi_dataset".to_string(), ge);
+        (m, cost)
+    }
+
+    #[test]
+    fn rewrite_adds_with_clause_and_repoints_from() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        let delta = DeltaRegistry::new();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let out = rewrite_query(
+            &db,
+            &delta,
+            &q,
+            &guarded,
+            &by_id,
+            &cost,
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.query.with.len(), 1);
+        assert_eq!(out.query.with[0].name, "wifi_dataset_sieve");
+        assert!(matches!(
+            &out.query.from[0].source,
+            TableSource::Named(n) if n == "wifi_dataset_sieve"
+        ));
+        assert_eq!(out.relations.len(), 1);
+        assert!(out.relations[0].guard_count > 0);
+    }
+
+    #[test]
+    fn rewritten_query_enforces_policies() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        let delta = DeltaRegistry::new();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let out = rewrite_query(
+            &db,
+            &delta,
+            &q,
+            &guarded,
+            &by_id,
+            &cost,
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let result = db.run_query(&out.query).unwrap();
+        // Oracle comparison.
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let oracle = crate::semantics::visible_rows(&db, "wifi_dataset", &refs).unwrap();
+        let mut a = result.rows;
+        let mut b = oracle;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn delta_mode_always_routes_partitions() {
+        let (mut db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        let delta = DeltaRegistry::new();
+        delta.install(&mut db);
+        let q = SelectQuery::star_from("wifi_dataset");
+        let opts = RewriteOptions {
+            delta_mode: DeltaMode::Always,
+            ..Default::default()
+        };
+        let out = rewrite_query(&db, &delta, &q, &guarded, &by_id, &cost, &opts).unwrap();
+        assert!(out.relations[0].delta_guards > 0);
+        assert_eq!(out.relations[0].delta_guards, out.relations[0].guard_count);
+        // Still correct.
+        let result = db.run_query(&out.query).unwrap();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let mut oracle = crate::semantics::visible_rows(&db, "wifi_dataset", &refs).unwrap();
+        let mut got = result.rows;
+        got.sort();
+        oracle.sort();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn query_predicate_pushdown_preserves_results() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        let delta = DeltaRegistry::new();
+        let q = SelectQuery::star_from("wifi_dataset").filter(Expr::col_eq(
+            ColumnRef::qualified("wifi_dataset", "wifi_ap"),
+            Value::Int(1001),
+        ));
+        let run = |no_push: bool, forced: Option<AccessStrategy>| {
+            let opts = RewriteOptions {
+                no_predicate_pushdown: no_push,
+                forced_strategy: forced,
+                ..Default::default()
+            };
+            let out = rewrite_query(&db, &delta, &q, &guarded, &by_id, &cost, &opts).unwrap();
+            let mut rows = db.run_query(&out.query).unwrap().rows;
+            rows.sort();
+            rows
+        };
+        let pushed = run(false, Some(AccessStrategy::IndexGuards));
+        let unpushed = run(true, Some(AccessStrategy::IndexGuards));
+        let via_query_index = run(false, Some(AccessStrategy::IndexQuery));
+        let via_scan = run(false, Some(AccessStrategy::LinearScan));
+        assert_eq!(pushed, unpushed);
+        assert_eq!(pushed, via_query_index);
+        assert_eq!(pushed, via_scan);
+    }
+
+    #[test]
+    fn empty_guarded_expression_denies_all() {
+        let (db, _) = setup();
+        let cost = CostModel::default();
+        let mut guarded = HashMap::new();
+        guarded.insert(
+            "wifi_dataset".to_string(),
+            GuardedExpression {
+                relation: "wifi_dataset".into(),
+                querier: 999,
+                purpose: "Any".into(),
+                guards: vec![],
+            },
+        );
+        let by_id = HashMap::new();
+        let delta = DeltaRegistry::new();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let out = rewrite_query(
+            &db,
+            &delta,
+            &q,
+            &guarded,
+            &by_id,
+            &cost,
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let result = db.run_query(&out.query).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn rendered_rewrite_is_parseable_sql() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        let delta = DeltaRegistry::new();
+        let q = SelectQuery::star_from("wifi_dataset");
+        let out = rewrite_query(
+            &db,
+            &delta,
+            &q,
+            &guarded,
+            &by_id,
+            &cost,
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let sql = minidb::sql::render_query(&out.query);
+        let reparsed = minidb::sql::parse(&sql).unwrap();
+        assert_eq!(reparsed, out.query);
+    }
+}

@@ -1,0 +1,900 @@
+//! Predicate expressions: AST, name resolution (binding), and evaluation.
+//!
+//! Evaluation is the hot path of everything SIEVE measures — each policy
+//! object-condition set is a conjunct tree evaluated per tuple — so
+//! expressions are *bound* once against the query's FROM layout (resolving
+//! column names to positions) and evaluated many times. `And`/`Or` short-
+//! circuit, which is what makes the paper's α ("average number of policies a
+//! tuple is checked against before it satisfies one", Section 4) a
+//! measurable quantity here.
+
+use crate::error::{DbError, DbResult};
+use crate::plan::SelectQuery;
+use crate::schema::TableSchema;
+use crate::stats::StatsSink;
+use crate::table::Row;
+use crate::udf::{UdfContext, UdfRegistry};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operators of the policy model (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to two values. Comparisons against NULL are false.
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The SQL token for this operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Mirror image (for normalizing `literal op column`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table alias qualifier, if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// An unbound predicate/scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant.
+    Literal(Value),
+    /// Column reference.
+    Column(ColumnRef),
+    /// Binary comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive both sides, as in SQL).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT BETWEEN if true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List elements.
+        list: Vec<Expr>,
+        /// NOT IN if true.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL if true.
+        negated: bool,
+    },
+    /// N-ary conjunction (short-circuits on first false).
+    And(Vec<Expr>),
+    /// N-ary disjunction (short-circuits on first true).
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// UDF call, e.g. the ∆ operator `delta(guard_id, querier, purpose, owner, …)`.
+    Udf {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Correlated scalar subquery (the policy model's "derived value",
+    /// Section 3.1). Yields the first column of the first result row, or
+    /// NULL when the result is empty.
+    ScalarSubquery(Box<SelectQuery>),
+}
+
+impl Expr {
+    /// `a AND b`, flattening nested conjunctions.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [a, b] {
+            match e {
+                Expr::And(mut v) => parts.append(&mut v),
+                other => parts.push(other),
+            }
+        }
+        Expr::And(parts)
+    }
+
+    /// `a OR b`, flattening nested disjunctions.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [a, b] {
+            match e {
+                Expr::Or(mut v) => parts.append(&mut v),
+                other => parts.push(other),
+            }
+        }
+        Expr::Or(parts)
+    }
+
+    /// Conjunction of many expressions; `TRUE` for an empty list.
+    pub fn all(exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::Literal(Value::Bool(true)),
+            1 => exprs.into_iter().next().unwrap(),
+            _ => Expr::And(exprs),
+        }
+    }
+
+    /// Disjunction of many expressions; `FALSE` for an empty list.
+    pub fn any(exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::Literal(Value::Bool(false)),
+            1 => exprs.into_iter().next().unwrap(),
+            _ => Expr::Or(exprs),
+        }
+    }
+
+    /// Shorthand: `col = value`.
+    pub fn col_eq(col: ColumnRef, v: Value) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(Expr::Column(col)),
+            rhs: Box::new(Expr::Literal(v)),
+        }
+    }
+
+    /// Shorthand: comparison of a column to a literal.
+    pub fn col_cmp(col: ColumnRef, op: CmpOp, v: Value) -> Expr {
+        Expr::Cmp {
+            op,
+            lhs: Box::new(Expr::Column(col)),
+            rhs: Box::new(Expr::Literal(v)),
+        }
+    }
+
+    /// Top-level conjuncts of this expression (`self` if not an AND).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(v) => v.iter().collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Top-level disjuncts of this expression (`self` if not an OR).
+    pub fn disjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Or(v) => v.iter().collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Visit all column references in this expression (not descending into
+    /// scalar subqueries, whose references resolve in their own scope).
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(c) => f(c),
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.visit_columns(f);
+                rhs.visit_columns(f);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Not(e) => e.visit_columns(f),
+            Expr::Udf { args, .. } => {
+                for e in args {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::ScalarSubquery(_) => {}
+        }
+    }
+}
+
+/// The flattened FROM layout a row is evaluated against: an ordered list of
+/// `(alias, schema)` whose columns are concatenated.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    entries: Vec<(String, Arc<TableSchema>)>,
+    offsets: Vec<usize>,
+    width: usize,
+}
+
+impl Layout {
+    /// Empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Layout over a single table.
+    pub fn single(alias: impl Into<String>, schema: Arc<TableSchema>) -> Self {
+        let mut l = Layout::new();
+        l.push(alias, schema);
+        l
+    }
+
+    /// Append a FROM entry.
+    pub fn push(&mut self, alias: impl Into<String>, schema: Arc<TableSchema>) {
+        self.offsets.push(self.width);
+        self.width += schema.arity();
+        self.entries.push((alias.into(), schema));
+    }
+
+    /// Total number of columns across all entries.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The `(alias, schema)` entries.
+    pub fn entries(&self) -> &[(String, Arc<TableSchema>)] {
+        &self.entries
+    }
+
+    /// Resolve a column reference to its global position.
+    pub fn resolve(&self, c: &ColumnRef) -> DbResult<usize> {
+        match &c.table {
+            Some(alias) => {
+                for (i, (a, schema)) in self.entries.iter().enumerate() {
+                    if a == alias {
+                        return schema
+                            .column_index(&c.column)
+                            .map(|j| self.offsets[i] + j)
+                            .ok_or_else(|| DbError::UnknownColumn(c.to_string()));
+                    }
+                }
+                Err(DbError::UnknownColumn(c.to_string()))
+            }
+            None => {
+                let mut found = None;
+                for (i, (_, schema)) in self.entries.iter().enumerate() {
+                    if let Some(j) = schema.column_index(&c.column) {
+                        if found.is_some() {
+                            return Err(DbError::AmbiguousColumn(c.column.clone()));
+                        }
+                        found = Some(self.offsets[i] + j);
+                    }
+                }
+                found.ok_or_else(|| DbError::UnknownColumn(c.to_string()))
+            }
+        }
+    }
+
+    /// Positions (global range) of an entry by alias.
+    pub fn entry_range(&self, alias: &str) -> Option<std::ops::Range<usize>> {
+        self.entries.iter().enumerate().find_map(|(i, (a, s))| {
+            (a == alias).then(|| self.offsets[i]..self.offsets[i] + s.arity())
+        })
+    }
+
+    /// Fully-qualified output column names, in layout order.
+    pub fn qualified_names(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.width);
+        for (alias, schema) in &self.entries {
+            for c in &schema.columns {
+                out.push(format!("{alias}.{}", c.name));
+            }
+        }
+        out
+    }
+}
+
+/// Runner for correlated scalar subqueries: implemented by the executor and
+/// injected into evaluation so `expr` does not depend on `exec`.
+pub trait QueryRunner {
+    /// Execute `query` with the given correlation parameters (keys are
+    /// `alias.column` strings) and return the result rows.
+    fn run_subquery(
+        &self,
+        query: &SelectQuery,
+        params: &HashMap<String, Value>,
+    ) -> DbResult<Vec<Row>>;
+}
+
+/// Evaluation context: statistics, UDFs, subquery runner, and any outer
+/// correlation parameters already in scope.
+pub struct EvalContext<'a> {
+    /// Stats sink charged by predicate evaluations and UDF work.
+    pub stats: &'a StatsSink,
+    /// Registered UDFs.
+    pub udfs: &'a UdfRegistry,
+    /// Subquery runner (None disables scalar subqueries).
+    pub runner: Option<&'a dyn QueryRunner>,
+    /// Correlation parameters visible to nested subqueries.
+    pub params: &'a HashMap<String, Value>,
+}
+
+/// A bound expression: column references resolved to row positions, or to
+/// named correlation parameters when they refer to an enclosing query.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Constant.
+    Literal(Value),
+    /// Column at a global row position.
+    Slot(usize),
+    /// Correlation parameter from an enclosing scope.
+    Param(String),
+    /// Binary comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<BoundExpr>,
+        /// Right operand.
+        rhs: Box<BoundExpr>,
+    },
+    /// Inclusive range test.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Inclusive lower bound.
+        low: Box<BoundExpr>,
+        /// Inclusive upper bound.
+        high: Box<BoundExpr>,
+        /// NOT BETWEEN if true.
+        negated: bool,
+    },
+    /// IN-list test.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// List elements.
+        list: Vec<BoundExpr>,
+        /// NOT IN if true.
+        negated: bool,
+    },
+    /// NULL test.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL if true.
+        negated: bool,
+    },
+    /// Short-circuit conjunction.
+    And(Vec<BoundExpr>),
+    /// Short-circuit disjunction.
+    Or(Vec<BoundExpr>),
+    /// Negation.
+    Not(Box<BoundExpr>),
+    /// UDF call.
+    Udf {
+        /// Function name.
+        name: String,
+        /// Bound arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// Correlated scalar subquery with its captured outer references:
+    /// `(param name, outer slot)` pairs collected at bind time.
+    ScalarSubquery {
+        /// The unbound subquery (bound inside the runner per invocation
+        /// scope).
+        query: Box<SelectQuery>,
+        /// Outer columns the subquery needs, as `(param name, outer slot)`.
+        outer_refs: Vec<(String, usize)>,
+    },
+}
+
+/// Bind an expression against a layout.
+///
+/// Column references that do not resolve in `layout` bind as named
+/// parameters when either (a) their printed name appears in `params`
+/// (we are executing inside a correlated subquery whose outer row values
+/// were captured), or (b) they resolve in `outer` (we are binding the outer
+/// query and recording the correlation). Anything else is an error.
+pub fn bind(
+    expr: &Expr,
+    layout: &Layout,
+    outer: Option<&Layout>,
+    params: &std::collections::HashSet<String>,
+) -> DbResult<BoundExpr> {
+    Ok(match expr {
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Column(c) => match layout.resolve(c) {
+            Ok(slot) => BoundExpr::Slot(slot),
+            Err(e) => {
+                let name = c.to_string();
+                if params.contains(&name) {
+                    BoundExpr::Param(name)
+                } else if let Some(out) = outer {
+                    if out.resolve(c).is_ok() {
+                        BoundExpr::Param(name)
+                    } else {
+                        return Err(e);
+                    }
+                } else {
+                    return Err(e);
+                }
+            }
+        },
+        Expr::Cmp { op, lhs, rhs } => BoundExpr::Cmp {
+            op: *op,
+            lhs: Box::new(bind(lhs, layout, outer, params)?),
+            rhs: Box::new(bind(rhs, layout, outer, params)?),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(bind(expr, layout, outer, params)?),
+            low: Box::new(bind(low, layout, outer, params)?),
+            high: Box::new(bind(high, layout, outer, params)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(bind(expr, layout, outer, params)?),
+            list: list
+                .iter()
+                .map(|e| bind(e, layout, outer, params))
+                .collect::<DbResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(bind(expr, layout, outer, params)?),
+            negated: *negated,
+        },
+        Expr::And(v) => BoundExpr::And(
+            v.iter()
+                .map(|e| bind(e, layout, outer, params))
+                .collect::<DbResult<_>>()?,
+        ),
+        Expr::Or(v) => BoundExpr::Or(
+            v.iter()
+                .map(|e| bind(e, layout, outer, params))
+                .collect::<DbResult<_>>()?,
+        ),
+        Expr::Not(e) => BoundExpr::Not(Box::new(bind(e, layout, outer, params)?)),
+        Expr::Udf { name, args } => BoundExpr::Udf {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|e| bind(e, layout, outer, params))
+                .collect::<DbResult<_>>()?,
+        },
+        Expr::ScalarSubquery(q) => {
+            // Collect the subquery's correlation needs: columns that do not
+            // resolve against the subquery's own FROM entries but do resolve
+            // in the current layout.
+            let inner_layout_names: Vec<String> =
+                q.from.iter().map(|t| t.alias.clone()).collect();
+            let mut outer_refs: Vec<(String, usize)> = Vec::new();
+            if let Some(pred) = &q.predicate {
+                let mut err = None;
+                pred.visit_columns(&mut |c| {
+                    let is_inner = match &c.table {
+                        Some(t) => inner_layout_names.iter().any(|a| a == t),
+                        None => false, // unqualified: assume inner, resolved later
+                    };
+                    if !is_inner {
+                        if let Ok(slot) = layout.resolve(c) {
+                            let name = c.to_string();
+                            if !outer_refs.iter().any(|(n, _)| *n == name) {
+                                outer_refs.push((name, slot));
+                            }
+                        } else if c.table.is_some() && err.is_none() {
+                            err = Some(DbError::UnknownColumn(c.to_string()));
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            BoundExpr::ScalarSubquery {
+                query: q.clone(),
+                outer_refs,
+            }
+        }
+    })
+}
+
+impl BoundExpr {
+    /// Evaluate to a value.
+    pub fn eval(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<Value> {
+        Ok(match self {
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Slot(i) => row[*i].clone(),
+            BoundExpr::Param(name) => ctx
+                .params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DbError::UnknownColumn(format!("parameter {name}")))?,
+            BoundExpr::Cmp { op, lhs, rhs } => {
+                let a = lhs.eval(row, ctx)?;
+                let b = rhs.eval(row, ctx)?;
+                ctx.stats.predicates(1);
+                Value::Bool(op.apply(&a, &b))
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row, ctx)?;
+                let lo = low.eval(row, ctx)?;
+                let hi = high.eval(row, ctx)?;
+                ctx.stats.predicates(1);
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let inside = v >= lo && v <= hi;
+                Value::Bool(inside != *negated)
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row, ctx)?;
+                ctx.stats.predicates(1);
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let mut found = false;
+                for e in list {
+                    if e.eval(row, ctx)? == v {
+                        found = true;
+                        break;
+                    }
+                }
+                Value::Bool(found != *negated)
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row, ctx)?;
+                ctx.stats.predicates(1);
+                Value::Bool(v.is_null() != *negated)
+            }
+            BoundExpr::And(parts) => {
+                for p in parts {
+                    if !p.eval_bool(row, ctx)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Value::Bool(true)
+            }
+            BoundExpr::Or(parts) => {
+                for p in parts {
+                    if p.eval_bool(row, ctx)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Value::Bool(false)
+            }
+            BoundExpr::Not(e) => Value::Bool(!e.eval_bool(row, ctx)?),
+            BoundExpr::Udf { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row, ctx)?);
+                }
+                let udf_ctx = UdfContext { stats: ctx.stats };
+                ctx.udfs.invoke(name, &vals, &udf_ctx)?
+            }
+            BoundExpr::ScalarSubquery { query, outer_refs } => {
+                let runner = ctx.runner.ok_or_else(|| {
+                    DbError::Unsupported("scalar subquery outside executor".into())
+                })?;
+                let mut params = ctx.params.clone();
+                for (name, slot) in outer_refs {
+                    params.insert(name.clone(), row[*slot].clone());
+                }
+                let rows = runner.run_subquery(query, &params)?;
+                match rows.into_iter().next() {
+                    Some(r) => r.into_iter().next().unwrap_or(Value::Null),
+                    None => Value::Null,
+                }
+            }
+        })
+    }
+
+    /// Evaluate as a boolean; non-boolean, non-null results are a type
+    /// error, NULL is false.
+    pub fn eval_bool(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<bool> {
+        match self.eval(row, ctx)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(DbError::TypeError(format!(
+                "expected boolean predicate, got {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn layout() -> Layout {
+        Layout::single(
+            "w",
+            Arc::new(TableSchema::of(
+                "wifi",
+                &[
+                    ("owner", DataType::Int),
+                    ("wifi_ap", DataType::Int),
+                    ("ts_time", DataType::Time),
+                ],
+            )),
+        )
+    }
+
+    fn ctx<'a>(
+        stats: &'a StatsSink,
+        udfs: &'a UdfRegistry,
+        params: &'a HashMap<String, Value>,
+    ) -> EvalContext<'a> {
+        EvalContext {
+            stats,
+            udfs,
+            runner: None,
+            params,
+        }
+    }
+
+    #[test]
+    fn bind_and_eval_comparison() {
+        let l = layout();
+        let e = Expr::col_eq(ColumnRef::qualified("w", "owner"), Value::Int(7));
+        let b = bind(&e, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let udfs = UdfRegistry::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        let row = vec![Value::Int(7), Value::Int(1200), Value::Time(3600)];
+        assert!(b.eval_bool(&row, &c).unwrap());
+        let row2 = vec![Value::Int(8), Value::Int(1200), Value::Time(3600)];
+        assert!(!b.eval_bool(&row2, &c).unwrap());
+        assert_eq!(stats.snapshot().predicate_evals, 2);
+    }
+
+    #[test]
+    fn unqualified_resolution_and_ambiguity() {
+        let mut l = layout();
+        assert!(l.resolve(&ColumnRef::bare("wifi_ap")).is_ok());
+        // Add a second table that also has `owner`: bare `owner` becomes
+        // ambiguous but qualified refs still resolve.
+        l.push(
+            "g",
+            Arc::new(TableSchema::of("grades", &[("owner", DataType::Int)])),
+        );
+        assert_eq!(
+            l.resolve(&ColumnRef::bare("owner")),
+            Err(DbError::AmbiguousColumn("owner".into()))
+        );
+        assert_eq!(l.resolve(&ColumnRef::qualified("g", "owner")), Ok(3));
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        let l = layout();
+        let e = Expr::And(vec![
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(1)),
+            Expr::col_eq(ColumnRef::bare("wifi_ap"), Value::Int(9)),
+        ]);
+        let b = bind(&e, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let udfs = UdfRegistry::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        // First conjunct false: second must not be evaluated.
+        let row = vec![Value::Int(0), Value::Int(9), Value::Time(0)];
+        assert!(!b.eval_bool(&row, &c).unwrap());
+        assert_eq!(stats.snapshot().predicate_evals, 1);
+    }
+
+    #[test]
+    fn or_short_circuits() {
+        let l = layout();
+        let e = Expr::Or(vec![
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(1)),
+            Expr::col_eq(ColumnRef::bare("wifi_ap"), Value::Int(9)),
+        ]);
+        let b = bind(&e, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let udfs = UdfRegistry::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        let row = vec![Value::Int(1), Value::Int(0), Value::Time(0)];
+        assert!(b.eval_bool(&row, &c).unwrap());
+        assert_eq!(stats.snapshot().predicate_evals, 1);
+    }
+
+    #[test]
+    fn between_and_in_semantics() {
+        let l = layout();
+        let between = Expr::Between {
+            expr: Box::new(Expr::Column(ColumnRef::bare("ts_time"))),
+            low: Box::new(Expr::Literal(Value::Time(9 * 3600))),
+            high: Box::new(Expr::Literal(Value::Time(10 * 3600))),
+            negated: false,
+        };
+        let b = bind(&between, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let udfs = UdfRegistry::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        let at_nine = vec![Value::Int(0), Value::Int(0), Value::Time(9 * 3600)];
+        let at_noon = vec![Value::Int(0), Value::Int(0), Value::Time(12 * 3600)];
+        assert!(b.eval_bool(&at_nine, &c).unwrap());
+        assert!(!b.eval_bool(&at_noon, &c).unwrap());
+
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::Column(ColumnRef::bare("wifi_ap"))),
+            list: vec![Expr::Literal(Value::Int(1200)), Expr::Literal(Value::Int(1201))],
+            negated: true,
+        };
+        let b2 = bind(&inlist, &l, None, &Default::default()).unwrap();
+        let row = vec![Value::Int(0), Value::Int(1300), Value::Time(0)];
+        assert!(b2.eval_bool(&row, &c).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let l = layout();
+        let e = Expr::col_cmp(ColumnRef::bare("owner"), CmpOp::Ne, Value::Int(5));
+        let b = bind(&e, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let udfs = UdfRegistry::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        let row = vec![Value::Null, Value::Int(0), Value::Time(0)];
+        assert!(!b.eval_bool(&row, &c).unwrap());
+    }
+
+    #[test]
+    fn udf_called_through_expr() {
+        let l = layout();
+        let mut udfs = UdfRegistry::new();
+        udfs.register(
+            "is_even",
+            Arc::new(|args: &[Value], _: &UdfContext<'_>| {
+                Ok(Value::Bool(args[0].as_int().unwrap_or(1) % 2 == 0))
+            }),
+        );
+        let e = Expr::Udf {
+            name: "is_even".into(),
+            args: vec![Expr::Column(ColumnRef::bare("owner"))],
+        };
+        let b = bind(&e, &l, None, &Default::default()).unwrap();
+        let stats = StatsSink::new();
+        let params = HashMap::new();
+        let c = ctx(&stats, &udfs, &params);
+        let row = vec![Value::Int(4), Value::Int(0), Value::Time(0)];
+        assert!(b.eval_bool(&row, &c).unwrap());
+        assert_eq!(stats.snapshot().udf_invocations, 1);
+    }
+
+    #[test]
+    fn unknown_column_fails_at_bind() {
+        let l = layout();
+        let e = Expr::col_eq(ColumnRef::bare("missing"), Value::Int(1));
+        assert!(matches!(
+            bind(&e, &l, None, &Default::default()),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn flip_operator() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Ge.flip(), CmpOp::Le);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn builders_flatten() {
+        let a = Expr::col_eq(ColumnRef::bare("owner"), Value::Int(1));
+        let b = Expr::col_eq(ColumnRef::bare("owner"), Value::Int(2));
+        let c2 = Expr::col_eq(ColumnRef::bare("owner"), Value::Int(3));
+        let combined = Expr::and(Expr::and(a, b), c2);
+        match combined {
+            Expr::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flat AND, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Logical query representation: the SELECT-FROM-WHERE shape the paper's
+//! query model uses (Section 3.1), plus the pieces SIEVE's rewrites need —
+//! `WITH` clauses, index-usage hints, GROUP BY and aggregates.
+
+use crate::expr::{ColumnRef, Expr};
+
+/// Index-usage hint attached to a table reference, mirroring the paper's
+/// `FORCE INDEX(…)` / `USE INDEX()` rewrites (Sections 5.3 and 5.5).
+/// Whether the engine honors them depends on the optimizer profile
+/// ([`crate::planner::DbProfile`]): the MySQL-like profile obeys them, the
+/// PostgreSQL-like profile ignores them, as in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum IndexHint {
+    /// No hint; planner chooses.
+    #[default]
+    None,
+    /// `FORCE INDEX (col, …)`: use index scans over the named columns; a
+    /// table scan only if no branch can use them.
+    Force(Vec<String>),
+    /// `USE INDEX ()`: ignore all indexes (plan a sequential scan).
+    IgnoreAll,
+}
+
+/// What a FROM entry ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A named base table, temp table, or WITH-clause result.
+    Named(String),
+    /// A derived table `( SELECT … )`.
+    Derived(Box<SelectQuery>),
+}
+
+/// One FROM entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Source relation.
+    pub source: TableSource,
+    /// Alias the query refers to it by.
+    pub alias: String,
+    /// Optional index-usage hint.
+    pub hint: IndexHint,
+}
+
+impl TableRef {
+    /// Reference a named table under its own name.
+    pub fn named(table: impl Into<String>) -> Self {
+        let t = table.into();
+        TableRef {
+            alias: t.clone(),
+            source: TableSource::Named(t),
+            hint: IndexHint::None,
+        }
+    }
+
+    /// Reference a named table under an alias.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            source: TableSource::Named(table.into()),
+            alias: alias.into(),
+            hint: IndexHint::None,
+        }
+    }
+
+    /// Attach a hint.
+    pub fn with_hint(mut self, hint: IndexHint) -> Self {
+        self.hint = hint;
+        self
+    }
+}
+
+/// Aggregate functions supported by GROUP BY queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count,
+    /// `COUNT(DISTINCT col)`.
+    CountDistinct,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL name of the function.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of the FROM layout.
+    Star,
+    /// A plain column, optionally renamed.
+    Column {
+        /// The referenced column.
+        column: ColumnRef,
+        /// Output name (`AS alias`).
+        alias: Option<String>,
+    },
+    /// An aggregate over a column (`None` column means `COUNT(*)`).
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated column; `None` only for `COUNT(*)`.
+        column: Option<ColumnRef>,
+        /// Output name.
+        alias: Option<String>,
+    },
+}
+
+/// A `WITH name AS (query)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithClause {
+    /// Name the main query refers to.
+    pub name: String,
+    /// Defining query.
+    pub query: SelectQuery,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// WITH clauses, evaluated first, visible to later clauses and the body.
+    pub with: Vec<WithClause>,
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM entries (comma joins; join predicates live in `predicate`).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl SelectQuery {
+    /// `SELECT * FROM table`.
+    pub fn star_from(table: impl Into<String>) -> Self {
+        SelectQuery {
+            with: Vec::new(),
+            select: vec![SelectItem::Star],
+            from: vec![TableRef::named(table)],
+            predicate: None,
+            group_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Set the WHERE predicate.
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// AND an extra predicate onto the existing WHERE.
+    pub fn and_filter(mut self, predicate: Expr) -> Self {
+        self.predicate = Some(match self.predicate.take() {
+            Some(p) => Expr::and(p, predicate),
+            None => predicate,
+        });
+        self
+    }
+
+    /// Prepend a WITH clause.
+    pub fn with_clause(mut self, name: impl Into<String>, query: SelectQuery) -> Self {
+        self.with.push(WithClause {
+            name: name.into(),
+            query,
+        });
+        self
+    }
+
+    /// Replace the FROM list.
+    pub fn from_tables(mut self, tables: Vec<TableRef>) -> Self {
+        self.from = tables;
+        self
+    }
+
+    /// True iff any select item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Aggregate { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn builder_composes() {
+        let q = SelectQuery::star_from("wifi_dataset")
+            .filter(Expr::col_eq(ColumnRef::bare("owner"), Value::Int(7)))
+            .and_filter(Expr::col_eq(ColumnRef::bare("wifi_ap"), Value::Int(1200)));
+        let p = q.predicate.as_ref().unwrap();
+        assert_eq!(p.conjuncts().len(), 2);
+        assert_eq!(q.from[0].alias, "wifi_dataset");
+        assert!(!q.has_aggregates());
+    }
+
+    #[test]
+    fn with_clause_registration() {
+        let inner = SelectQuery::star_from("wifi_dataset");
+        let q = SelectQuery::star_from("wifi_pol").with_clause("wifi_pol", inner);
+        assert_eq!(q.with.len(), 1);
+        assert_eq!(q.with[0].name, "wifi_pol");
+    }
+
+    #[test]
+    fn hints_attach() {
+        let t = TableRef::aliased("wifi_dataset", "w")
+            .with_hint(IndexHint::Force(vec!["owner".into()]));
+        assert_eq!(t.hint, IndexHint::Force(vec!["owner".into()]));
+        assert_eq!(t.alias, "w");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let q = SelectQuery {
+            with: vec![],
+            select: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None,
+                alias: Some("n".into()),
+            }],
+            from: vec![TableRef::named("t")],
+            predicate: None,
+            group_by: vec![ColumnRef::bare("g")],
+            limit: None,
+        };
+        assert!(q.has_aggregates());
+    }
+}

@@ -1,0 +1,116 @@
+//! Table schemas and column metadata.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// A column definition within a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive; generators use lower_snake names).
+    pub name: String,
+    /// Declared type of the column.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// The schema of a table: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Create a schema from `(name, type)` pairs.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Convenience constructor from `(&str, DataType)` pairs.
+    pub fn of(name: impl Into<String>, cols: &[(&str, DataType)]) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: cols
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name, if present.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wifi_schema() -> TableSchema {
+        TableSchema::of(
+            "wifi_dataset",
+            &[
+                ("id", DataType::Int),
+                ("wifi_ap", DataType::Int),
+                ("owner", DataType::Int),
+                ("ts_time", DataType::Time),
+                ("ts_date", DataType::Date),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = wifi_schema();
+        assert_eq!(s.column_index("owner"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.column("ts_time").unwrap().dtype, DataType::Time);
+        assert_eq!(s.arity(), 5);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = wifi_schema();
+        let d = s.to_string();
+        assert!(d.starts_with("wifi_dataset(id INT"));
+        assert!(d.contains("ts_time TIME"));
+    }
+}

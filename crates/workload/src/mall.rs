@@ -1,0 +1,411 @@
+//! Mall synthetic dataset (paper Section 7.1, Experiment 5).
+//!
+//! The paper generated Mall with the SmartBench/IoT data-generation tool:
+//! 1.7M WiFi connectivity events from 2,651 customer devices across 35
+//! shops of six types, plus 19,364 policies (≈551 per shop-querier). This
+//! module reproduces that recipe: shoppers visit shops (regulars favour a
+//! few, irregulars roam), and policies grant *shops* access to customer
+//! data per the three rules of Section 7.1.
+
+use minidb::value::{DataType, Value};
+use minidb::{Database, DbResult, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sieve_core::filter::GroupDirectory;
+use sieve_core::policy::{
+    CondPredicate, ObjectCondition, Policy, QuerierSpec, UserId,
+};
+
+/// Connectivity fact table (paper Table 3: "WiFi Connectivity").
+pub const MALL_TABLE: &str = "wifi_connectivity";
+
+/// Shop-querier ids start here to keep them disjoint from customer ids.
+pub const SHOP_QUERIER_BASE: i64 = 10_000_000;
+
+/// Shop-type group ids (used by irregular-customer policies).
+pub const SHOP_TYPE_GROUP_BASE: i64 = 2_000_000;
+
+/// The six shop types of the paper's categorization.
+pub const SHOP_TYPES: [&str; 6] = [
+    "clothing", "food", "electronics", "arcade", "movies", "grocery",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct MallConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of paper scale (1.0 ≈ 2,651 customers / 1.7M events).
+    pub scale: f64,
+    /// Number of shops (paper: 35).
+    pub shops: u32,
+    /// Observation days.
+    pub days: u32,
+}
+
+impl Default for MallConfig {
+    fn default() -> Self {
+        MallConfig {
+            seed: 11,
+            scale: 0.05,
+            shops: 35,
+            days: 60,
+        }
+    }
+}
+
+/// One customer of the mall.
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Customer/device id (`owner` in the fact table).
+    pub id: UserId,
+    /// Regulars visit a favourite subset of shops on most days.
+    pub regular: bool,
+    /// Favourite shops (non-empty for regulars).
+    pub favourites: Vec<i64>,
+    /// Interest category index into [`SHOP_TYPES`], if any.
+    pub interest: Option<usize>,
+}
+
+/// The generated mall dataset.
+#[derive(Debug)]
+pub struct MallDataset {
+    /// Customers in id order.
+    pub customers: Vec<Customer>,
+    /// Shop ids.
+    pub shops: Vec<i64>,
+    /// Querier group directory: one group per shop type, whose "members"
+    /// are the shop-querier ids of that type.
+    pub groups: GroupDirectory,
+    /// First observation date (days since epoch).
+    pub start_date: i32,
+    /// Observation days.
+    pub days: u32,
+    /// Events generated.
+    pub events: u64,
+    /// Policies generated (Section 7.1's three rules).
+    pub policies: Vec<Policy>,
+}
+
+impl MallDataset {
+    /// Querier id of a shop.
+    pub fn shop_querier(shop: i64) -> i64 {
+        SHOP_QUERIER_BASE + shop
+    }
+
+    /// Type index of a shop id.
+    pub fn shop_type(shop: i64) -> usize {
+        (shop as usize) % SHOP_TYPES.len()
+    }
+}
+
+/// Generate the mall dataset, load it into the database, and produce the
+/// policy corpus (policies are returned, not yet registered, so callers
+/// can feed them incrementally for the scalability experiment).
+pub fn generate(db: &mut Database, config: &MallConfig) -> DbResult<MallDataset> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start_date = Value::parse_date("2020-01-06").expect("valid date");
+
+    db.create_table(TableSchema::of(
+        "mall_users",
+        &[
+            ("id", DataType::Int),
+            ("device", DataType::Str),
+            ("interest", DataType::Str),
+        ],
+    ))?;
+    db.create_table(TableSchema::of(
+        "shop",
+        &[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("type", DataType::Str),
+        ],
+    ))?;
+    db.create_table(TableSchema::of(
+        MALL_TABLE,
+        &[
+            ("id", DataType::Int),
+            ("shop_id", DataType::Int),
+            ("owner", DataType::Int),
+            ("obs_time", DataType::Time),
+            ("obs_date", DataType::Date),
+        ],
+    ))?;
+
+    // Shops and the shop-type querier groups.
+    let mut shops = Vec::new();
+    let mut groups = GroupDirectory::new();
+    for s in 0..config.shops as i64 {
+        shops.push(s);
+        let ty = MallDataset::shop_type(s);
+        db.insert(
+            "shop",
+            vec![
+                Value::Int(s),
+                Value::str(format!("shop_{s}")),
+                Value::str(SHOP_TYPES[ty]),
+            ],
+        )?;
+        groups.add_member(SHOP_TYPE_GROUP_BASE + ty as i64, MallDataset::shop_querier(s));
+    }
+
+    // Customers: ~40% regular (per typical mall loyalty splits).
+    let n_customers = ((2_651.0 * config.scale).round() as u32).max(20);
+    let mut customers = Vec::new();
+    for id in 0..n_customers as i64 {
+        let regular = rng.gen_bool(0.4);
+        let favourites = if regular {
+            let n = rng.gen_range(1..=3);
+            (0..n)
+                .map(|_| shops[rng.gen_range(0..shops.len())])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let interest = rng.gen_bool(0.5).then(|| rng.gen_range(0..SHOP_TYPES.len()));
+        db.insert(
+            "mall_users",
+            vec![
+                Value::Int(id),
+                Value::str(format!("cust_{id:05x}")),
+                Value::str(interest.map(|i| SHOP_TYPES[i]).unwrap_or("none")),
+            ],
+        )?;
+        customers.push(Customer {
+            id,
+            regular,
+            favourites,
+            interest,
+        });
+    }
+
+    // Connectivity events: open hours 10:00–22:00.
+    let open = 10 * 3600u32;
+    let close = 22 * 3600u32;
+    let mut event_id = 0i64;
+    let mut rows = Vec::new();
+    for c in &customers {
+        let presence = if c.regular { 0.6 } else { 0.15 };
+        for day in 0..config.days {
+            if !rng.gen_bool(presence) {
+                continue;
+            }
+            let date = start_date + day as i32;
+            let n_visits = rng.gen_range(1..=4);
+            for _ in 0..n_visits {
+                let shop = if c.regular && !c.favourites.is_empty() && rng.gen_bool(0.7) {
+                    c.favourites[rng.gen_range(0..c.favourites.len())]
+                } else if let Some(i) = c.interest.filter(|_| rng.gen_bool(0.4)) {
+                    // Interested customers drift toward their category.
+                    let of_type: Vec<i64> = shops
+                        .iter()
+                        .copied()
+                        .filter(|&s| MallDataset::shop_type(s) == i)
+                        .collect();
+                    of_type[rng.gen_range(0..of_type.len())]
+                } else {
+                    shops[rng.gen_range(0..shops.len())]
+                };
+                let t = rng.gen_range(open..close);
+                // A visit produces a few association events.
+                for k in 0..rng.gen_range(2..=6) {
+                    rows.push(vec![
+                        Value::Int(event_id),
+                        Value::Int(shop),
+                        Value::Int(c.id),
+                        Value::Time((t + k * 300).min(86_399)),
+                        Value::Date(date),
+                    ]);
+                    event_id += 1;
+                }
+            }
+        }
+    }
+    let events = rows.len() as u64;
+    db.insert_all(MALL_TABLE, rows)?;
+    for col in ["owner", "shop_id", "obs_time", "obs_date"] {
+        db.create_index(MALL_TABLE, col)?;
+    }
+    db.analyze(MALL_TABLE)?;
+
+    // --- policies (Section 7.1, Mall rules) -------------------------------
+    // The paper's corpus averages ~7.3 policies/customer (19,364 for
+    // 2,651 customers, ~551 per shop-querier); each rule below emits a
+    // few policies per customer to land in the same regime.
+    let mut policies = Vec::new();
+    for c in &customers {
+        if c.regular {
+            // "Regular customers allowed shops they visit the most to have
+            // access to their location during open hours." Each favourite
+            // gets an open-hours grant plus narrower weekday/evening
+            // variants (regulars fine-tune, like the campus advanced
+            // users).
+            for &shop in &c.favourites {
+                let querier = QuerierSpec::User(MallDataset::shop_querier(shop));
+                policies.push(Policy::new(
+                    c.id,
+                    MALL_TABLE,
+                    querier.clone(),
+                    "Promotions",
+                    vec![ObjectCondition::new(
+                        "obs_time",
+                        CondPredicate::between(Value::Time(open), Value::Time(close)),
+                    )],
+                ));
+                let t0 = rng.gen_range(open..close - 3 * 3600);
+                policies.push(Policy::new(
+                    c.id,
+                    MALL_TABLE,
+                    querier.clone(),
+                    "Sales",
+                    vec![ObjectCondition::new(
+                        "obs_time",
+                        CondPredicate::between(Value::Time(t0), Value::Time(t0 + 3 * 3600)),
+                    )],
+                ));
+                let week = start_date + rng.gen_range(0..config.days.max(8) - 7) as i32;
+                policies.push(Policy::new(
+                    c.id,
+                    MALL_TABLE,
+                    querier,
+                    "Promotions",
+                    vec![ObjectCondition::new(
+                        "obs_date",
+                        CondPredicate::between(Value::Date(week), Value::Date(week + 6)),
+                    )],
+                ));
+            }
+        } else {
+            // "Irregular customers shared their data only with specific
+            // shop types depending on if there were sales or discounts."
+            for _ in 0..rng.gen_range(2..=4) {
+                let ty = rng.gen_range(0..SHOP_TYPES.len());
+                let sale_start = start_date + rng.gen_range(0..config.days.max(8) - 7) as i32;
+                policies.push(Policy::new(
+                    c.id,
+                    MALL_TABLE,
+                    QuerierSpec::Group(SHOP_TYPE_GROUP_BASE + ty as i64),
+                    "Sales",
+                    vec![ObjectCondition::new(
+                        "obs_date",
+                        CondPredicate::between(
+                            Value::Date(sale_start),
+                            Value::Date(sale_start + 6),
+                        ),
+                    )],
+                ));
+            }
+        }
+        // "If a customer expressed an interest in a particular shop
+        // category … allowed access … for a short period (lightning
+        // sales)."
+        if let Some(i) = c.interest {
+            for _ in 0..rng.gen_range(2..=3) {
+                let day = start_date + rng.gen_range(0..config.days) as i32;
+                let t0 = rng.gen_range(open..close - 2 * 3600);
+                policies.push(Policy::new(
+                    c.id,
+                    MALL_TABLE,
+                    QuerierSpec::Group(SHOP_TYPE_GROUP_BASE + i as i64),
+                    "Lightning",
+                    vec![
+                        ObjectCondition::new("obs_date", CondPredicate::Eq(Value::Date(day))),
+                        ObjectCondition::new(
+                            "obs_time",
+                            CondPredicate::between(Value::Time(t0), Value::Time(t0 + 2 * 3600)),
+                        ),
+                    ],
+                ));
+            }
+        }
+    }
+
+    Ok(MallDataset {
+        customers,
+        shops,
+        groups,
+        start_date,
+        days: config.days,
+        events,
+        policies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::DbProfile;
+    use sieve_core::policy::QueryMetadata;
+
+    fn small() -> (Database, MallDataset) {
+        let mut db = Database::new(DbProfile::PostgresLike);
+        let ds = generate(
+            &mut db,
+            &MallConfig {
+                seed: 3,
+                scale: 0.03,
+                shops: 35,
+                days: 30,
+            },
+        )
+        .unwrap();
+        (db, ds)
+    }
+
+    #[test]
+    fn shapes_match_paper_recipe() {
+        let (db, ds) = small();
+        assert_eq!(ds.shops.len(), 35);
+        assert!(ds.events > 500);
+        assert_eq!(db.table(MALL_TABLE).unwrap().table.len() as u64, ds.events);
+        // Every customer contributes 1–5 policies.
+        assert!(ds.policies.len() >= ds.customers.len() / 2);
+    }
+
+    #[test]
+    fn policies_target_shop_queriers() {
+        let (_, ds) = small();
+        let mut shop_targets = 0;
+        let mut group_targets = 0;
+        for p in &ds.policies {
+            match p.querier {
+                QuerierSpec::User(u) => {
+                    assert!(u >= SHOP_QUERIER_BASE);
+                    shop_targets += 1;
+                }
+                QuerierSpec::Group(g) => {
+                    assert!(g >= SHOP_TYPE_GROUP_BASE);
+                    group_targets += 1;
+                }
+            }
+        }
+        assert!(shop_targets > 0, "regular-customer policies exist");
+        assert!(group_targets > 0, "irregular/interest policies exist");
+    }
+
+    #[test]
+    fn shop_queriers_receive_policies_via_groups() {
+        let (_, ds) = small();
+        let shop = ds.shops[0];
+        let qm = QueryMetadata::new(MallDataset::shop_querier(shop), "Sales");
+        let relevant = sieve_core::filter::relevant_policies(
+            ds.policies.iter(),
+            MALL_TABLE,
+            &qm,
+            &ds.groups,
+        );
+        assert!(
+            !relevant.is_empty(),
+            "shop queriers must match group policies of their type"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = small();
+        let (_, b) = small();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.policies.len(), b.policies.len());
+    }
+}

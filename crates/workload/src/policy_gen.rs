@@ -1,0 +1,325 @@
+//! Profile-based policy generation for the campus dataset (paper
+//! Section 7.1, "Policy Generation").
+//!
+//! Users split into *unconcerned* (subscribe to the administrator's two
+//! default policies) and *advanced* (define ~40 policies each over device,
+//! time, group, profile, and location), per the Section 2.1 privacy-profile
+//! distribution. Policies grant access to groups, profiles, or specific
+//! users, for purposes drawn from the campus purpose list.
+
+use crate::profiles::{advanced_fraction, UserProfile};
+use crate::tippers::{Device, TippersDataset, AP_BASE, NUM_APS, WIFI_TABLE};
+use minidb::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sieve_core::policy::{CondPredicate, ObjectCondition, Policy, QuerierSpec};
+
+/// Purposes used on campus (after Lee & Kobsa's purpose taxonomy, which
+/// the paper cites for the purpose dimension).
+pub const PURPOSES: [&str; 5] = ["Analytics", "Attendance", "Safety", "Social", "Commercial"];
+
+/// Working hours used by the default policies.
+pub const WORK_START: u32 = 9 * 3600;
+/// End of working hours.
+pub const WORK_END: u32 = 17 * 3600;
+
+/// Policy-generation configuration.
+#[derive(Debug, Clone)]
+pub struct PolicyGenConfig {
+    /// RNG seed (independent from the dataset seed).
+    pub seed: u64,
+    /// Mean number of policies an advanced user defines (paper: 40).
+    pub advanced_policies_mean: u32,
+    /// Generate policies only for owners in this list (None = everyone).
+    /// The scalability experiments use this to grow the corpus
+    /// incrementally.
+    pub owners: Option<Vec<i64>>,
+}
+
+impl Default for PolicyGenConfig {
+    fn default() -> Self {
+        PolicyGenConfig {
+            seed: 23,
+            advanced_policies_mean: 40,
+            owners: None,
+        }
+    }
+}
+
+/// Whether a user is unconcerned or advanced, deterministically derived
+/// from the RNG stream.
+fn is_advanced(rng: &mut StdRng) -> bool {
+    rng.gen_bool(advanced_fraction())
+}
+
+fn random_time_window(rng: &mut StdRng) -> ObjectCondition {
+    // 1–4 hour windows within the waking day.
+    let start = rng.gen_range(7 * 3600..19 * 3600);
+    let len = rng.gen_range(1..=4) * 3600;
+    ObjectCondition::new(
+        "ts_time",
+        CondPredicate::between(Value::Time(start), Value::Time((start + len).min(86_399))),
+    )
+}
+
+fn random_date_window(rng: &mut StdRng, ds: &TippersDataset) -> ObjectCondition {
+    let (lo, hi) = ds.date_range();
+    let span = (hi - lo).max(7);
+    let start = lo + rng.gen_range(0..span - 6);
+    let len = rng.gen_range(7..=28).min(hi - start);
+    ObjectCondition::new(
+        "ts_date",
+        CondPredicate::between(Value::Date(start), Value::Date(start + len)),
+    )
+}
+
+fn nearby_ap(rng: &mut StdRng, device: &Device) -> ObjectCondition {
+    // Advanced users scope policies to locations they frequent.
+    let delta = rng.gen_range(0..4);
+    let ap = AP_BASE + ((device.home_ap - AP_BASE + delta).rem_euclid(NUM_APS as i64));
+    ObjectCondition::new("wifi_ap", CondPredicate::Eq(Value::Int(ap)))
+}
+
+/// The two default policies of an unconcerned user (Section 7.1):
+///
+/// 1. data collected during working hours is visible to the user's
+///    affinity group;
+/// 2. data collected at any time is visible to members sharing both the
+///    group and the profile — approximated by the profile group, the
+///    coarser of the two memberships.
+pub fn default_policies(device: &Device) -> Vec<Policy> {
+    vec![
+        Policy::new(
+            device.id,
+            WIFI_TABLE,
+            QuerierSpec::Group(device.group),
+            "Any",
+            vec![ObjectCondition::new(
+                "ts_time",
+                CondPredicate::between(Value::Time(WORK_START), Value::Time(WORK_END)),
+            )],
+        ),
+        Policy::new(
+            device.id,
+            WIFI_TABLE,
+            QuerierSpec::Group(device.profile.group_id()),
+            "Any",
+            vec![],
+        ),
+    ]
+}
+
+/// Generate the policy corpus for a TIPPERS dataset.
+pub fn generate_policies(ds: &TippersDataset, config: &PolicyGenConfig) -> Vec<Policy> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let non_visitors: Vec<&Device> = ds
+        .devices
+        .iter()
+        .filter(|d| d.profile != UserProfile::Visitor)
+        .collect();
+    for device in &ds.devices {
+        if let Some(owners) = &config.owners {
+            if !owners.contains(&device.id) {
+                // Keep the RNG stream aligned so subsets are prefixes of
+                // the full corpus: draw the same decisions, drop the
+                // output.
+                let _ = consume_for_device(&mut rng, device, ds, &non_visitors, config);
+                continue;
+            }
+        }
+        out.extend(consume_for_device(&mut rng, device, ds, &non_visitors, config));
+    }
+    out
+}
+
+fn consume_for_device(
+    rng: &mut StdRng,
+    device: &Device,
+    ds: &TippersDataset,
+    non_visitors: &[&Device],
+    config: &PolicyGenConfig,
+) -> Vec<Policy> {
+    // Visitors keep the defaults only (they barely appear in the data).
+    if device.profile == UserProfile::Visitor || !is_advanced(rng) {
+        return default_policies(device);
+    }
+    let mean = config.advanced_policies_mean.max(2);
+    let n = rng.gen_range(mean / 2..=mean * 3 / 2);
+    let mut out = default_policies(device);
+    // Advanced users govern a handful of distinct grantees ("John", "my
+    // classmates", "faculty") and write several situation-specific
+    // policies per grantee — which is what gives queriers multiple
+    // policies per owner and lets guards form real partitions.
+    let n_targets = rng.gen_range(3..=8usize);
+    // Each grantee is granted for one consistent purpose (one shares
+    // attendance data with a professor, social data with friends, …);
+    // purpose-scattering would dissolve the per-owner policy clusters the
+    // paper's partitions rely on.
+    let targets: Vec<(QuerierSpec, &str)> = (0..n_targets)
+        .map(|_| {
+            let spec = match rng.gen_range(0..10) {
+                0..=3 => QuerierSpec::Group(rng.gen_range(0..ds.num_groups) as i64),
+                4..=6 => {
+                    let p = UserProfile::ALL[rng.gen_range(1..UserProfile::ALL.len())];
+                    QuerierSpec::Group(p.group_id())
+                }
+                _ => {
+                    let other = non_visitors[rng.gen_range(0..non_visitors.len())];
+                    QuerierSpec::User(other.id)
+                }
+            };
+            (spec, PURPOSES[rng.gen_range(0..PURPOSES.len())])
+        })
+        .collect();
+    for _ in 0..n {
+        let (querier, purpose) = targets[rng.gen_range(0..targets.len())].clone();
+        // Two conditions per policy on average (time and location), as in
+        // the Section 2.1 estimate; sometimes a date window instead.
+        let mut conditions = vec![random_time_window(rng)];
+        match rng.gen_range(0..10) {
+            0..=5 => conditions.push(nearby_ap(rng, device)),
+            6..=7 => conditions.push(random_date_window(rng, ds)),
+            8 => {
+                conditions.push(nearby_ap(rng, device));
+                conditions.push(random_date_window(rng, ds));
+            }
+            _ => {}
+        }
+        out.push(Policy::new(
+            device.id,
+            WIFI_TABLE,
+            querier,
+            purpose,
+            conditions,
+        ));
+    }
+    out
+}
+
+/// Summary statistics over a generated corpus (drives Table 6 style
+/// reporting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusStats {
+    /// Total policies.
+    pub total: usize,
+    /// Mean policies per owner.
+    pub per_owner_mean: f64,
+    /// Mean object conditions per policy (incl. the owner condition).
+    pub conditions_mean: f64,
+}
+
+/// Compute corpus statistics.
+pub fn corpus_stats(policies: &[Policy]) -> CorpusStats {
+    if policies.is_empty() {
+        return CorpusStats {
+            total: 0,
+            per_owner_mean: 0.0,
+            conditions_mean: 0.0,
+        };
+    }
+    let mut owners: Vec<i64> = policies.iter().map(|p| p.owner).collect();
+    owners.sort_unstable();
+    owners.dedup();
+    let conds: usize = policies.iter().map(|p| p.object_conditions().len()).sum();
+    CorpusStats {
+        total: policies.len(),
+        per_owner_mean: policies.len() as f64 / owners.len() as f64,
+        conditions_mean: conds as f64 / policies.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tippers::{generate, TippersConfig};
+    use minidb::{Database, DbProfile};
+    use sieve_core::filter::relevant_policies;
+    use sieve_core::policy::QueryMetadata;
+
+    fn dataset() -> (Database, TippersDataset) {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        let ds = generate(
+            &mut db,
+            &TippersConfig {
+                seed: 1,
+                scale: 0.01,
+                days: 45,
+            },
+        )
+        .unwrap();
+        (db, ds)
+    }
+
+    #[test]
+    fn corpus_has_defaults_and_advanced() {
+        let (_, ds) = dataset();
+        let policies = generate_policies(&ds, &PolicyGenConfig::default());
+        let stats = corpus_stats(&policies);
+        // Every device defines at least the two defaults.
+        assert!(stats.total >= ds.devices.len() * 2);
+        // Advanced users push the mean well above 2.
+        assert!(stats.per_owner_mean > 2.5, "mean {}", stats.per_owner_mean);
+        // ~2 conditions + owner condition.
+        assert!((2.0..4.5).contains(&stats.conditions_mean));
+    }
+
+    #[test]
+    fn queriers_accumulate_policies() {
+        let (_, ds) = dataset();
+        let policies = generate_policies(&ds, &PolicyGenConfig::default());
+        // A faculty member should be able to access *some* data: their
+        // profile group and affinity group collect default policies.
+        let faculty = ds
+            .devices_of(UserProfile::Faculty)
+            .next()
+            .expect("some faculty");
+        let qm = QueryMetadata::new(faculty.id, "Analytics");
+        let relevant =
+            relevant_policies(policies.iter(), WIFI_TABLE, &qm, &ds.groups);
+        assert!(
+            relevant.len() > 10,
+            "faculty querier only matched {} policies",
+            relevant.len()
+        );
+    }
+
+    #[test]
+    fn owner_subset_is_prefix_consistent() {
+        let (_, ds) = dataset();
+        let full = generate_policies(&ds, &PolicyGenConfig::default());
+        let owners: Vec<i64> = ds.devices.iter().take(10).map(|d| d.id).collect();
+        let subset = generate_policies(
+            &ds,
+            &PolicyGenConfig {
+                owners: Some(owners.clone()),
+                ..Default::default()
+            },
+        );
+        // The subset equals the full corpus filtered to those owners.
+        let filtered: Vec<&Policy> =
+            full.iter().filter(|p| owners.contains(&p.owner)).collect();
+        assert_eq!(subset.len(), filtered.len());
+        for (a, b) in subset.iter().zip(filtered) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, ds) = dataset();
+        let a = generate_policies(&ds, &PolicyGenConfig::default());
+        let b = generate_policies(&ds, &PolicyGenConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_policies_shape() {
+        let (_, ds) = dataset();
+        let d = &ds.devices[0];
+        let ps = default_policies(d);
+        assert_eq!(ps.len(), 2);
+        assert!(matches!(ps[0].querier, QuerierSpec::Group(g) if g == d.group));
+        assert_eq!(ps[1].conditions.len(), 0);
+    }
+}

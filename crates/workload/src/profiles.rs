@@ -1,0 +1,145 @@
+//! User profiles of the smart-campus scenario (paper Section 7.1).
+//!
+//! The paper classifies the 36,436 devices observed in the TIPPERS
+//! deployment into five profiles by connectivity pattern: 31,796 visitors,
+//! 1,029 staff, 388 faculty, 1,795 undergraduates, and 1,428 graduates.
+//! Profiles drive both event generation (who shows up when) and policy
+//! generation (defaults per profile; queriers grouped by profile).
+
+/// Campus user profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UserProfile {
+    /// Rarely-seen passerby devices (< 5% of days).
+    Visitor,
+    /// Staff (office-bound, regular hours).
+    Staff,
+    /// Faculty (office + classroom).
+    Faculty,
+    /// Undergraduate students (classroom-heavy).
+    Undergrad,
+    /// Graduate students (lab-heavy, long hours).
+    Grad,
+}
+
+impl UserProfile {
+    /// All profiles, visitor first.
+    pub const ALL: [UserProfile; 5] = [
+        UserProfile::Visitor,
+        UserProfile::Staff,
+        UserProfile::Faculty,
+        UserProfile::Undergrad,
+        UserProfile::Grad,
+    ];
+
+    /// Device counts from the paper's classification at full scale.
+    pub fn paper_count(self) -> u32 {
+        match self {
+            UserProfile::Visitor => 31_796,
+            UserProfile::Staff => 1_029,
+            UserProfile::Faculty => 388,
+            UserProfile::Undergrad => 1_795,
+            UserProfile::Grad => 1_428,
+        }
+    }
+
+    /// Fraction of days a device of this profile shows up on campus.
+    pub fn presence_rate(self) -> f64 {
+        match self {
+            UserProfile::Visitor => 0.03, // < 5% of days, per the paper
+            UserProfile::Staff => 0.75,
+            UserProfile::Faculty => 0.65,
+            UserProfile::Undergrad => 0.55,
+            UserProfile::Grad => 0.80,
+        }
+    }
+
+    /// Typical (start, end) seconds-since-midnight of a day on campus.
+    pub fn day_window(self) -> (u32, u32) {
+        match self {
+            UserProfile::Visitor => (10 * 3600, 16 * 3600),
+            UserProfile::Staff => (8 * 3600, 17 * 3600),
+            UserProfile::Faculty => (9 * 3600, 18 * 3600),
+            UserProfile::Undergrad => (9 * 3600, 17 * 3600),
+            UserProfile::Grad => (10 * 3600, 21 * 3600),
+        }
+    }
+
+    /// Mean connectivity events per present day (AP association logs).
+    pub fn events_per_day(self) -> f64 {
+        match self {
+            UserProfile::Visitor => 3.0,
+            UserProfile::Staff => 14.0,
+            UserProfile::Faculty => 12.0,
+            UserProfile::Undergrad => 10.0,
+            UserProfile::Grad => 16.0,
+        }
+    }
+
+    /// Stable group id for the profile-level group (e.g. "all faculty").
+    /// Profile groups occupy ids above [`PROFILE_GROUP_BASE`].
+    pub fn group_id(self) -> i64 {
+        PROFILE_GROUP_BASE
+            + match self {
+                UserProfile::Visitor => 0,
+                UserProfile::Staff => 1,
+                UserProfile::Faculty => 2,
+                UserProfile::Undergrad => 3,
+                UserProfile::Grad => 4,
+            }
+    }
+
+    /// Short label used in experiment tables (the paper's F/G/U/S).
+    pub fn label(self) -> &'static str {
+        match self {
+            UserProfile::Visitor => "V",
+            UserProfile::Staff => "S",
+            UserProfile::Faculty => "F",
+            UserProfile::Undergrad => "U",
+            UserProfile::Grad => "G",
+        }
+    }
+}
+
+/// Affinity-group ids live below this; profile-group ids at/above it.
+pub const PROFILE_GROUP_BASE: i64 = 1_000_000;
+
+/// Privacy-preference split of Section 2.1 (after Lin et al.): 20%
+/// unconcerned + 18% advanced + 62% situational (of which 2/3 behave
+/// unconcerned and 1/3 advanced) → ~61.3% unconcerned, ~38.7% advanced.
+pub fn advanced_fraction() -> f64 {
+    0.18 + 0.62 / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_sum_to_dataset_size() {
+        let total: u32 = UserProfile::ALL.iter().map(|p| p.paper_count()).sum();
+        assert_eq!(total, 36_436);
+    }
+
+    #[test]
+    fn visitor_is_rare() {
+        assert!(UserProfile::Visitor.presence_rate() < 0.05);
+        for p in UserProfile::ALL.iter().skip(1) {
+            assert!(p.presence_rate() > 0.5);
+        }
+    }
+
+    #[test]
+    fn profile_groups_distinct() {
+        let mut ids: Vec<i64> = UserProfile::ALL.iter().map(|p| p.group_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|&i| i >= PROFILE_GROUP_BASE));
+    }
+
+    #[test]
+    fn advanced_fraction_matches_section_2_1() {
+        let f = advanced_fraction();
+        assert!((f - 0.3866).abs() < 0.01);
+    }
+}

@@ -1,0 +1,310 @@
+//! The SmartBench-style query templates Q1/Q2/Q3 (paper Section 7.1).
+//!
+//! * **Q1** — devices connected at a list of locations during a period
+//!   (location surveillance);
+//! * **Q2** — connectivity of a list of devices during a period (device
+//!   surveillance);
+//! * **Q3** — number of devices of a user group at a location over time
+//!   (analytics; joins `wifi_dataset` with `user_group_membership`).
+//!
+//! Each template is generated at three selectivity classes by widening the
+//! location list / device list / time window, as the paper does.
+
+use crate::tippers::{TippersDataset, AP_BASE, NUM_APS, WIFI_TABLE};
+use minidb::expr::{CmpOp, ColumnRef, Expr};
+use minidb::plan::{AggFunc, SelectItem, SelectQuery, TableRef};
+use minidb::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Query template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// Location surveillance.
+    Q1,
+    /// Device surveillance.
+    Q2,
+    /// Group analytics (join + aggregate).
+    Q3,
+}
+
+impl QueryClass {
+    /// All templates.
+    pub const ALL: [QueryClass; 3] = [QueryClass::Q1, QueryClass::Q2, QueryClass::Q3];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Q1 => "Q1",
+            QueryClass::Q2 => "Q2",
+            QueryClass::Q3 => "Q3",
+        }
+    }
+}
+
+/// Selectivity class (the paper's low/mid/high ρ(Q)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Selectivity {
+    /// ~0.1–1% of the relation.
+    Low,
+    /// A few percent.
+    Mid,
+    /// Tens of percent.
+    High,
+}
+
+impl Selectivity {
+    /// All classes in increasing order.
+    pub const ALL: [Selectivity; 3] = [Selectivity::Low, Selectivity::Mid, Selectivity::High];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Selectivity::Low => "low",
+            Selectivity::Mid => "mid",
+            Selectivity::High => "high",
+        }
+    }
+
+    fn ap_count(self) -> usize {
+        match self {
+            Selectivity::Low => 2,
+            Selectivity::Mid => 8,
+            Selectivity::High => 28,
+        }
+    }
+
+    fn device_count(self) -> usize {
+        match self {
+            Selectivity::Low => 8,
+            Selectivity::Mid => 60,
+            Selectivity::High => 400,
+        }
+    }
+
+    fn hours(self) -> u32 {
+        match self {
+            Selectivity::Low => 2,
+            Selectivity::Mid => 5,
+            Selectivity::High => 12,
+        }
+    }
+
+    fn day_span(self) -> i32 {
+        match self {
+            Selectivity::Low => 7,
+            Selectivity::Mid => 30,
+            Selectivity::High => 90,
+        }
+    }
+}
+
+fn time_window(rng: &mut StdRng, sel: Selectivity) -> Expr {
+    // Latest possible start keeps the window inside the day; wide windows
+    // leave little slack, so clamp the range to stay non-empty.
+    let latest_start = (20u32.saturating_sub(sel.hours())).max(9);
+    let start = rng.gen_range(8 * 3600..latest_start * 3600);
+    Expr::Between {
+        expr: Box::new(Expr::Column(ColumnRef::qualified("w", "ts_time"))),
+        low: Box::new(Expr::Literal(Value::Time(start))),
+        high: Box::new(Expr::Literal(Value::Time(start + sel.hours() * 3600))),
+        negated: false,
+    }
+}
+
+fn date_window(rng: &mut StdRng, ds: &TippersDataset, sel: Selectivity) -> Expr {
+    let (lo, hi) = ds.date_range();
+    let span = sel.day_span().min(hi - lo);
+    let start = if hi - lo > span {
+        lo + rng.gen_range(0..(hi - lo - span))
+    } else {
+        lo
+    };
+    Expr::Between {
+        expr: Box::new(Expr::Column(ColumnRef::qualified("w", "ts_date"))),
+        low: Box::new(Expr::Literal(Value::Date(start))),
+        high: Box::new(Expr::Literal(Value::Date(start + span))),
+        negated: false,
+    }
+}
+
+/// Generate one query of a given class and selectivity.
+pub fn generate_query(
+    ds: &TippersDataset,
+    class: QueryClass,
+    sel: Selectivity,
+    seed: u64,
+) -> SelectQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match class {
+        QueryClass::Q1 => {
+            let n = sel.ap_count().min(NUM_APS as usize);
+            let mut aps: Vec<i64> = (0..NUM_APS as i64).map(|a| AP_BASE + a).collect();
+            // Fisher–Yates prefix.
+            for i in 0..n {
+                let j = rng.gen_range(i..aps.len());
+                aps.swap(i, j);
+            }
+            let ap_list = Expr::InList {
+                expr: Box::new(Expr::Column(ColumnRef::qualified("w", "wifi_ap"))),
+                list: aps[..n].iter().map(|&a| Expr::Literal(Value::Int(a))).collect(),
+                negated: false,
+            };
+            SelectQuery {
+                with: vec![],
+                select: vec![SelectItem::Star],
+                from: vec![TableRef::aliased(WIFI_TABLE, "w")],
+                predicate: Some(Expr::all(vec![
+                    ap_list,
+                    time_window(&mut rng, sel),
+                    date_window(&mut rng, ds, sel),
+                ])),
+                group_by: vec![],
+                limit: None,
+            }
+        }
+        QueryClass::Q2 => {
+            let n = sel.device_count().min(ds.devices.len());
+            let mut ids: Vec<i64> = ds.devices.iter().map(|d| d.id).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..ids.len());
+                ids.swap(i, j);
+            }
+            let dev_list = Expr::InList {
+                expr: Box::new(Expr::Column(ColumnRef::qualified("w", "owner"))),
+                list: ids[..n].iter().map(|&d| Expr::Literal(Value::Int(d))).collect(),
+                negated: false,
+            };
+            SelectQuery {
+                with: vec![],
+                select: vec![SelectItem::Star],
+                from: vec![TableRef::aliased(WIFI_TABLE, "w")],
+                predicate: Some(Expr::all(vec![
+                    dev_list,
+                    time_window(&mut rng, sel),
+                    date_window(&mut rng, ds, sel),
+                ])),
+                group_by: vec![],
+                limit: None,
+            }
+        }
+        QueryClass::Q3 => {
+            let group = rng.gen_range(0..ds.num_groups) as i64;
+            SelectQuery {
+                with: vec![],
+                select: vec![SelectItem::Aggregate {
+                    func: AggFunc::CountDistinct,
+                    column: Some(ColumnRef::qualified("w", "owner")),
+                    alias: Some("devices".into()),
+                }],
+                from: vec![
+                    TableRef::aliased("user_group_membership", "ug"),
+                    TableRef::aliased(WIFI_TABLE, "w"),
+                ],
+                predicate: Some(Expr::all(vec![
+                    Expr::col_eq(
+                        ColumnRef::qualified("ug", "user_group_id"),
+                        Value::Int(group),
+                    ),
+                    Expr::Cmp {
+                        op: CmpOp::Eq,
+                        lhs: Box::new(Expr::Column(ColumnRef::qualified("ug", "user_id"))),
+                        rhs: Box::new(Expr::Column(ColumnRef::qualified("w", "owner"))),
+                    },
+                    time_window(&mut rng, sel),
+                    date_window(&mut rng, ds, sel),
+                ])),
+                group_by: vec![],
+                limit: None,
+            }
+        }
+    }
+}
+
+/// A full workload: every (class, selectivity) pair × `per_cell` seeds.
+pub fn workload(
+    ds: &TippersDataset,
+    per_cell: u64,
+) -> Vec<(QueryClass, Selectivity, SelectQuery)> {
+    let mut out = Vec::new();
+    for class in QueryClass::ALL {
+        for sel in Selectivity::ALL {
+            for k in 0..per_cell {
+                let seed = 1000 * (class as u64 + 1) + 100 * (sel as u64 + 1) + k;
+                out.push((class, sel, generate_query(ds, class, sel, seed)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tippers::{generate, TippersConfig};
+    use minidb::{Database, DbProfile};
+
+    fn dataset() -> (Database, TippersDataset) {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        let ds = generate(
+            &mut db,
+            &TippersConfig {
+                seed: 5,
+                scale: 0.01,
+                days: 60,
+            },
+        )
+        .unwrap();
+        (db, ds)
+    }
+
+    #[test]
+    fn queries_run_and_selectivity_orders() {
+        let (db, ds) = dataset();
+        let total = db.table(WIFI_TABLE).unwrap().table.len() as f64;
+        for class in [QueryClass::Q1, QueryClass::Q2] {
+            let mut fractions = Vec::new();
+            for sel in Selectivity::ALL {
+                // Average over a few seeds to reduce variance.
+                let mut acc = 0.0;
+                for seed in 0..5 {
+                    let q = generate_query(&ds, class, sel, seed);
+                    acc += db.run_query(&q).unwrap().len() as f64 / total;
+                }
+                fractions.push(acc / 5.0);
+            }
+            assert!(
+                fractions[0] < fractions[1] && fractions[1] < fractions[2],
+                "{class:?} selectivities not ordered: {fractions:?}"
+            );
+            assert!(fractions[0] < 0.05, "{class:?} low too big: {fractions:?}");
+        }
+    }
+
+    #[test]
+    fn q3_counts_devices() {
+        let (db, ds) = dataset();
+        let q = generate_query(&ds, QueryClass::Q3, Selectivity::High, 1);
+        let res = db.run_query(&q).unwrap();
+        assert_eq!(res.columns, vec!["devices"]);
+        assert_eq!(res.rows.len(), 1);
+        assert!(res.rows[0][0].as_int().unwrap() >= 0);
+    }
+
+    #[test]
+    fn workload_covers_grid() {
+        let (_, ds) = dataset();
+        let w = workload(&ds, 2);
+        assert_eq!(w.len(), 3 * 3 * 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, ds) = dataset();
+        let a = generate_query(&ds, QueryClass::Q1, Selectivity::Low, 9);
+        let b = generate_query(&ds, QueryClass::Q1, Selectivity::Low, 9);
+        assert_eq!(a, b);
+        let c = generate_query(&ds, QueryClass::Q1, Selectivity::Low, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,13 @@
+//! `sieve` — umbrella crate for the SIEVE reproduction.
+//!
+//! Re-exports the public API of the workspace crates:
+//!
+//! * [`minidb`] — the embedded relational engine substrate;
+//! * [`core`] (`sieve-core`) — the SIEVE middleware itself;
+//! * [`workload`] (`sieve-workload`) — dataset/policy/query generators.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use minidb;
+pub use sieve_core as core;
+pub use sieve_workload as workload;

@@ -1,0 +1,147 @@
+//! Property tests over the engine substrate: whatever access path the
+//! planner picks (forced unions, bitmap ORs, sequential scans), the rows
+//! that come back are identical — and histogram estimates stay sane.
+
+use proptest::prelude::*;
+use sieve::minidb::expr::{CmpOp, ColumnRef, Expr};
+use sieve::minidb::plan::{IndexHint, TableRef};
+use sieve::minidb::value::{DataType, Value};
+use sieve::minidb::{Database, DbProfile, RangeBound, SelectQuery, TableSchema};
+
+fn build(rows: i64, profile: DbProfile) -> Database {
+    let mut db = Database::new(profile);
+    db.create_table(TableSchema::of(
+        "t",
+        &[
+            ("id", DataType::Int),
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Time),
+        ],
+    ))
+    .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 23),
+                Value::Int(i % 7),
+                Value::Time(((i * 557) % 86_400) as u32),
+            ],
+        )
+        .unwrap();
+    }
+    db.create_index("t", "a").unwrap();
+    db.create_index("t", "b").unwrap();
+    db.create_index("t", "c").unwrap();
+    db.analyze("t").unwrap();
+    db
+}
+
+/// A random predicate whose leaves are all sargable (so forced index
+/// plans are possible) over columns a, b, c.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..23).prop_map(|v| Expr::col_eq(ColumnRef::bare("a"), Value::Int(v))),
+        (0i64..7).prop_map(|v| Expr::col_eq(ColumnRef::bare("b"), Value::Int(v))),
+        (0u32..20, 1u32..8).prop_map(|(s, l)| Expr::Between {
+            expr: Box::new(Expr::Column(ColumnRef::bare("c"))),
+            low: Box::new(Expr::Literal(Value::Time(s * 3600))),
+            high: Box::new(Expr::Literal(Value::Time(((s + l) * 3600).min(86_399)))),
+            negated: false,
+        }),
+        (0i64..23, 0i64..23).prop_map(|(x, y)| Expr::InList {
+            expr: Box::new(Expr::Column(ColumnRef::bare("a"))),
+            list: vec![Expr::Literal(Value::Int(x)), Expr::Literal(Value::Int(y))],
+            negated: false,
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            proptest::collection::vec(inner, 2..3).prop_map(Expr::And),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_access_paths_agree(pred in arb_pred(), rows in 500i64..2500) {
+        // Reference: IgnoreAll hint forces a sequential scan on MySqlLike.
+        let db_m = build(rows, DbProfile::MySqlLike);
+        let db_p = build(rows, DbProfile::PostgresLike);
+        let scan = SelectQuery {
+            from: vec![TableRef::named("t").with_hint(IndexHint::IgnoreAll)],
+            ..SelectQuery::star_from("t")
+        }
+        .filter(pred.clone());
+        let forced = SelectQuery {
+            from: vec![TableRef::named("t").with_hint(IndexHint::Force(vec![
+                "a".into(),
+                "b".into(),
+                "c".into(),
+            ]))],
+            ..SelectQuery::star_from("t")
+        }
+        .filter(pred.clone());
+        let free = SelectQuery::star_from("t").filter(pred);
+
+        let mut reference = db_m.run_query(&scan).unwrap().rows;
+        reference.sort();
+        for (db, q, label) in [
+            (&db_m, &forced, "forced union (M)"),
+            (&db_m, &free, "planner choice (M)"),
+            (&db_p, &free, "planner choice (P)"),
+            (&db_p, &scan, "hints ignored (P)"),
+        ] {
+            let mut got = db.run_query(q).unwrap().rows;
+            got.sort();
+            prop_assert_eq!(&got, &reference, "{} diverged", label);
+        }
+    }
+
+    #[test]
+    fn histogram_estimates_bounded_and_monotone(
+        rows in 200i64..3000,
+        point in 0i64..23,
+        lo in 0u32..12,
+        width in 1u32..12,
+    ) {
+        let db = build(rows, DbProfile::MySqlLike);
+        let entry = db.table("t").unwrap();
+        let h = entry.histogram("a").unwrap();
+        // Equality estimates are bounded by the total.
+        let est = h.estimate_eq(&Value::Int(point));
+        prop_assert!(est >= 0.0 && est <= rows as f64);
+        // Range estimates grow with the range.
+        let hc = entry.histogram("c").unwrap();
+        let narrow = hc.estimate_range(
+            &RangeBound::Inclusive(Value::Time(lo * 3600)),
+            &RangeBound::Inclusive(Value::Time((lo + width) * 3600)),
+        );
+        let wide = hc.estimate_range(
+            &RangeBound::Inclusive(Value::Time(lo * 3600)),
+            &RangeBound::Inclusive(Value::Time(((lo + width) * 3600 + 7200).min(86_399))),
+        );
+        prop_assert!(wide + 1e-9 >= narrow, "wide {wide} < narrow {narrow}");
+        prop_assert!(wide <= rows as f64 + 1e-9);
+    }
+
+    #[test]
+    fn explain_estimates_track_actual_cardinality(v in 0i64..23) {
+        // For an equality on a uniformly distributed column the planner's
+        // estimate must be within a small factor of the true count.
+        let db = build(2300, DbProfile::MySqlLike);
+        let pred = Expr::col_cmp(ColumnRef::bare("a"), CmpOp::Eq, Value::Int(v));
+        let q = SelectQuery::star_from("t").filter(pred);
+        let explain = db.explain(&q).unwrap();
+        let est = explain.relations[0].est_rows;
+        let actual = db.run_query(&q).unwrap().len() as f64;
+        prop_assert!(actual > 0.0);
+        let ratio = (est / actual).max(actual / est);
+        prop_assert!(ratio < 4.0, "estimate {est} vs actual {actual}");
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end over the generated workloads: the full campus pipeline
+//! (TIPPERS data → policy corpus → Q1/Q2/Q3 queries → SIEVE + baselines)
+//! agrees with the oracle; the mall pipeline enforces shop policies.
+
+use sieve::core::baselines::Baseline;
+use sieve::core::middleware::Enforcement;
+use sieve::core::policy::{Policy, QueryMetadata};
+use sieve::core::semantics::visible_rows;
+use sieve::core::{Sieve, SieveOptions};
+use sieve::minidb::{Database, DbProfile, Row, SelectQuery, Value};
+use sieve::workload::mall::{generate as generate_mall, MallConfig, MallDataset};
+use sieve::workload::policy_gen::{generate_policies, PolicyGenConfig};
+use sieve::workload::query_gen::generate_query;
+use sieve::workload::tippers::{generate as generate_tippers, TippersConfig};
+use sieve::workload::{QueryClass, Selectivity, UserProfile, MALL_TABLE, WIFI_TABLE};
+
+fn campus(profile: DbProfile) -> (Sieve, sieve::workload::TippersDataset) {
+    let mut db = Database::new(profile);
+    let ds = generate_tippers(
+        &mut db,
+        &TippersConfig {
+            seed: 99,
+            scale: 0.004,
+            days: 30,
+        },
+    )
+    .unwrap();
+    let policies = generate_policies(&ds, &PolicyGenConfig::default());
+    let mut sieve = Sieve::new(db, SieveOptions::default()).unwrap();
+    *sieve.groups_mut() = ds.groups.clone();
+    sieve.add_policies(policies).unwrap();
+    (sieve, ds)
+}
+
+fn oracle_for(
+    sieve: &Sieve,
+    table: &str,
+    qm: &QueryMetadata,
+) -> Vec<Row> {
+    let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+        sieve.policies(),
+        table,
+        qm,
+        sieve.groups(),
+    );
+    visible_rows(sieve.db(), table, &relevant).unwrap()
+}
+
+#[test]
+fn campus_q1_q2_match_oracle_under_all_mechanisms() {
+    let (mut sieve, ds) = campus(DbProfile::MySqlLike);
+    let faculty = ds.devices_of(UserProfile::Faculty).next().unwrap().id;
+    let qm = QueryMetadata::new(faculty, "Analytics");
+    let oracle = oracle_for(&sieve, WIFI_TABLE, &qm);
+    assert!(!oracle.is_empty(), "faculty must see something");
+
+    for class in [QueryClass::Q1, QueryClass::Q2] {
+        for sel in [Selectivity::Low, Selectivity::Mid] {
+            let q = generate_query(&ds, class, sel, 7);
+            // Reference: filter oracle rows by the query predicate, which
+            // the unpoliced engine computes for us.
+            let (raw, _) = sieve.run_timed(Enforcement::NoPolicies, &q, &qm);
+            let raw_rows = raw.unwrap().rows;
+            let mut expect: Vec<Row> = raw_rows
+                .into_iter()
+                .filter(|r| oracle.contains(r))
+                .collect();
+            expect.sort();
+            for e in [
+                Enforcement::Sieve,
+                Enforcement::Baseline(Baseline::P),
+                Enforcement::Baseline(Baseline::I),
+                Enforcement::Baseline(Baseline::U),
+            ] {
+                let (res, _) = sieve.run_timed(e, &q, &qm);
+                let mut got = res.unwrap().rows;
+                got.sort();
+                assert_eq!(got, expect, "{class:?}/{sel:?} {e:?} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn campus_q3_aggregate_consistent() {
+    let (mut sieve, ds) = campus(DbProfile::PostgresLike);
+    let grad = ds.devices_of(UserProfile::Grad).next().unwrap().id;
+    let qm = QueryMetadata::new(grad, "Analytics");
+    let q = generate_query(&ds, QueryClass::Q3, Selectivity::High, 3);
+    let (sieve_res, _) = sieve.run_timed(Enforcement::Sieve, &q, &qm);
+    let (base_res, _) = sieve.run_timed(Enforcement::Baseline(Baseline::P), &q, &qm);
+    assert_eq!(
+        sieve_res.unwrap().rows,
+        base_res.unwrap().rows,
+        "Q3 aggregate must agree between SIEVE and BaselineP"
+    );
+}
+
+#[test]
+fn visitors_see_almost_nothing_faculty_see_more() {
+    let (mut sieve, ds) = campus(DbProfile::MySqlLike);
+    let q = SelectQuery::star_from(WIFI_TABLE);
+    let faculty = ds.devices_of(UserProfile::Faculty).next().unwrap().id;
+    let visitor = ds.devices_of(UserProfile::Visitor).next().unwrap().id;
+    let f_rows = sieve
+        .execute(&q, &QueryMetadata::new(faculty, "Analytics"))
+        .unwrap()
+        .len();
+    let v_rows = sieve
+        .execute(&q, &QueryMetadata::new(visitor, "Analytics"))
+        .unwrap()
+        .len();
+    assert!(
+        f_rows > v_rows,
+        "faculty ({f_rows}) should out-see visitors ({v_rows})"
+    );
+}
+
+#[test]
+fn mall_shops_see_only_granted_rows() {
+    let mut db = Database::new(DbProfile::PostgresLike);
+    let ds = generate_mall(
+        &mut db,
+        &MallConfig {
+            seed: 21,
+            scale: 0.02,
+            shops: 35,
+            days: 30,
+        },
+    )
+    .unwrap();
+    let mut sieve = Sieve::new(db, SieveOptions::default()).unwrap();
+    *sieve.groups_mut() = ds.groups.clone();
+    sieve.add_policies(ds.policies.iter().cloned()).unwrap();
+
+    let q = SelectQuery::star_from(MALL_TABLE);
+    let shop = ds.shops[0];
+    let qm = QueryMetadata::new(MallDataset::shop_querier(shop), "Sales");
+    let mut got = sieve.execute(&q, &qm).unwrap().rows;
+    got.sort();
+    let mut expect = oracle_for(&sieve, MALL_TABLE, &qm);
+    expect.sort();
+    assert_eq!(got, expect);
+
+    // A random non-shop querier is denied.
+    let stranger = QueryMetadata::new(4_242, "Sales");
+    assert!(sieve.execute(&q, &stranger).unwrap().is_empty());
+}
+
+#[test]
+fn persistence_mirrors_policies_into_relations() {
+    let mut db = Database::new(DbProfile::MySqlLike);
+    let ds = generate_tippers(
+        &mut db,
+        &TippersConfig {
+            seed: 99,
+            scale: 0.002,
+            days: 20,
+        },
+    )
+    .unwrap();
+    let policies = generate_policies(&ds, &PolicyGenConfig::default());
+    let n = policies.len();
+    let mut sieve = Sieve::new(
+        db,
+        SieveOptions {
+            persist: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    *sieve.groups_mut() = ds.groups.clone();
+    sieve.add_policies(policies).unwrap();
+
+    // The rP relation is queryable through plain SQL, as in the paper.
+    let res = sieve
+        .db()
+        .run_sql("SELECT COUNT(*) AS n FROM sieve_policies")
+        .unwrap();
+    assert_eq!(res.rows[0][0], Value::Int(n as i64));
+
+    // Load back and compare against the registered corpus.
+    let loaded = sieve::core::store::load_policies(sieve.db()).unwrap();
+    assert_eq!(loaded.len(), n);
+    for (a, b) in loaded.iter().zip(sieve.policies()) {
+        assert_eq!(a, b);
+    }
+
+    // Executing a query persists the generated guarded expression.
+    let faculty = ds.devices_of(UserProfile::Faculty).next().unwrap().id;
+    let qm = QueryMetadata::new(faculty, "Analytics");
+    sieve
+        .execute(&SelectQuery::star_from(WIFI_TABLE), &qm)
+        .unwrap();
+    let ge = sieve
+        .db()
+        .run_sql("SELECT COUNT(*) AS n FROM sieve_guard_expressions")
+        .unwrap();
+    assert!(ge.rows[0][0].as_int().unwrap() >= 1);
+}
