@@ -82,7 +82,7 @@ fn main() {
             (n, p, s)
         })
         .collect();
-    shops.sort_by(|a, b| b.0.cmp(&a.0));
+    shops.sort_by_key(|s| std::cmp::Reverse(s.0));
     let top: Vec<(usize, &str, i64)> = shops.into_iter().take(5).collect();
     let max_avail = top.iter().map(|(n, _, _)| *n).min().unwrap_or(0);
     let _ = writeln!(

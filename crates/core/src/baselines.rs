@@ -84,7 +84,7 @@ pub fn rewrite_baseline_i(
         name: with_name,
         query: body,
     }];
-    with.extend(out.with.drain(..));
+    with.append(&mut out.with);
     out.with = with;
     out
 }

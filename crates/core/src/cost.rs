@@ -58,7 +58,7 @@ impl Default for CostModel {
             // Most tuples fail all policies of their partition → α near 1.
             alpha: 0.9,
             udf_invoke: w.udf_invoke,
-            udf_lookup: w.index_probe as f64,
+            udf_lookup: w.index_probe,
             guard_gen: 50_000.0,
         }
     }

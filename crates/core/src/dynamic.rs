@@ -18,9 +18,11 @@ use crate::cost::CostModel;
 
 /// When the middleware regenerates a stale guarded expression.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum RegenerationPolicy {
     /// Regenerate as soon as a query finds the expression outdated
     /// (the trigger-based behaviour of Section 5.1).
+    #[default]
     Immediate,
     /// Regenerate after `k̃` pending insertions (Equation 19), evaluating
     /// queries in between against the stale guards plus the pending
@@ -33,11 +35,6 @@ pub enum RegenerationPolicy {
     Manual,
 }
 
-impl Default for RegenerationPolicy {
-    fn default() -> Self {
-        RegenerationPolicy::Immediate
-    }
-}
 
 /// Equation 19: the optimal number of policy insertions before
 /// regenerating, given the average guard cardinality `rho_guard`.

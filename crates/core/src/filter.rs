@@ -6,17 +6,21 @@
 //! condition matches, are relevant: `P_QM ⊆ P`.
 
 use crate::policy::{GroupId, Policy, QuerierSpec, QueryMetadata, UserId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// User ↔ group memberships. Groups are hierarchical in the paper's model
 /// (a group can subsume another); the directory stores the *transitive
 /// closure* per user, so `groups_of` already reflects subsumption.
+///
+/// Backed by `BTreeMap` (not `HashMap`) so iteration and `Debug` output
+/// are deterministic — identically-seeded workload generations must be
+/// byte-identical run to run (see `tests/determinism.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct GroupDirectory {
-    user_groups: HashMap<UserId, Vec<GroupId>>,
-    group_members: HashMap<GroupId, Vec<UserId>>,
+    user_groups: BTreeMap<UserId, Vec<GroupId>>,
+    group_members: BTreeMap<GroupId, Vec<UserId>>,
     /// Direct subsumption edges: child group → parent group.
-    parents: HashMap<GroupId, Vec<GroupId>>,
+    parents: BTreeMap<GroupId, Vec<GroupId>>,
 }
 
 impl GroupDirectory {

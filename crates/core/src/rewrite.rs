@@ -324,7 +324,7 @@ pub fn rewrite_query(
     // New WITH clauses go first so the original ones (if any) may refer to
     // base tables untouched; the rewritten FROM entries refer to ours.
     let mut with = new_withs;
-    with.extend(out_query.with.drain(..));
+    with.append(&mut out_query.with);
     out_query.with = with;
 
     Ok(RewriteOutput {

@@ -698,7 +698,7 @@ impl<'a> Exec<'a> {
                 let v = spec.slot.map(|s| &row[s]);
                 match acc {
                     Acc::Count(n) => {
-                        if spec.slot.is_none() || v.map_or(false, |v| !v.is_null()) {
+                        if spec.slot.is_none() || v.is_some_and(|v| !v.is_null()) {
                             *n += 1;
                         }
                     }
@@ -724,14 +724,14 @@ impl<'a> Exec<'a> {
                     }
                     Acc::Min(m) => {
                         if let Some(v) = v {
-                            if !v.is_null() && m.as_ref().map_or(true, |cur| v < cur) {
+                            if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
                                 *m = Some(v.clone());
                             }
                         }
                     }
                     Acc::Max(m) => {
                         if let Some(v) = v {
-                            if !v.is_null() && m.as_ref().map_or(true, |cur| v > cur) {
+                            if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
                                 *m = Some(v.clone());
                             }
                         }

@@ -208,8 +208,7 @@ mod tests {
     #[test]
     fn mcv_is_exact_for_skew() {
         // 900 copies of 7, plus 100 distinct values.
-        let vals = std::iter::repeat(Value::Int(7))
-            .take(900)
+        let vals = std::iter::repeat_n(Value::Int(7), 900)
             .chain((100..200).map(Value::Int));
         let h = Histogram::build(vals, DEFAULT_BUCKETS);
         assert_eq!(h.estimate_eq(&Value::Int(7)), 900.0);

@@ -182,9 +182,7 @@ fn probe_from_expr(
             Some(t) if t != alias => return None,
             _ => {}
         }
-        if entry.schema().column_index(&c.column).is_none() {
-            return None;
-        }
+        entry.schema().column_index(&c.column)?;
         if !entry.has_index(&c.column) {
             return None;
         }
@@ -315,7 +313,7 @@ fn probes_from_or_conjunct(
         if let Expr::Or(_) = conj {
             if let Some(probes) = probes_per_disjunct(conj, entry, alias, None) {
                 let est: f64 = probes.iter().map(|p| p.estimate_rows(entry)).sum();
-                if best.as_ref().map_or(true, |(b, _)| est < *b) {
+                if best.as_ref().is_none_or(|(b, _)| est < *b) {
                     best = Some((est, probes));
                 }
             }
@@ -383,7 +381,7 @@ pub fn plan_access(
             let mut best: Option<(f64, Vec<IndexProbe>)> = None;
             for cand in candidates.into_iter().flatten() {
                 let est: f64 = cand.iter().map(|p| p.estimate_rows(entry)).sum();
-                if best.as_ref().map_or(true, |(b, _)| est < *b) {
+                if best.as_ref().is_none_or(|(b, _)| est < *b) {
                     best = Some((est, cand));
                 }
             }

@@ -216,8 +216,10 @@ mod tests {
         assert_eq!(snap.predicate_evals, 20);
         assert_eq!(snap.udf_invocations, 1);
 
-        let mut other = Counters::default();
-        other.rand_pages_read = 5;
+        let mut other = Counters {
+            rand_pages_read: 5,
+            ..Default::default()
+        };
         other.merge(&snap);
         assert_eq!(other.rand_pages_read, 5);
         assert_eq!(other.tuples_read, 10);
@@ -226,9 +228,11 @@ mod tests {
     #[test]
     fn simulated_cost_weighted() {
         let w = CostWeights::default();
-        let mut c = Counters::default();
-        c.seq_pages_read = 2;
-        c.predicate_evals = 10;
+        let c = Counters {
+            seq_pages_read: 2,
+            predicate_evals: 10,
+            ..Default::default()
+        };
         assert_eq!(c.simulated_cost(&w), 2.0 * w.seq_page + 10.0 * w.predicate_eval);
     }
 

@@ -1,0 +1,229 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to a cargo registry, so this
+//! in-tree crate provides a minimal Criterion-compatible harness:
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`, and the
+//! `criterion_group!` / `criterion_main!` macros. Benchmarks run a
+//! fixed number of timed samples (one warm-up plus `sample_size`
+//! measured iterations per sample batch) and print median / mean
+//! timings to stdout — no plots, no statistics beyond that. The point
+//! is that `cargo bench` compiles and runs, with rough timings, in an
+//! environment where the real crate is unavailable.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter component.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id carrying only a parameter component.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &mut b.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        println!(
+            "{}/{id}: median {} mean {} ({} samples)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no time budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `name` without a group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let group = BenchmarkGroup {
+            name: "bench".into(),
+            criterion: self,
+        };
+        group.report(name, &mut b.samples);
+        self
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,119 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to a cargo registry, so this
+//! in-tree crate implements the slice of the proptest API the test
+//! suite uses: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_filter` and `prop_recursive`; strategies for integer ranges,
+//! tuples, `Just`, `any::<T>()`, regex-subset string literals,
+//! [`collection::vec`] and [`option::of`]; and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case prints the generated inputs
+//!   (`Debug`) and the case number, then repanics. Cases are
+//!   deterministic per (test name, case index), so failures reproduce.
+//! * **Case cap.** `ProptestConfig::with_cases(n)` is clamped to
+//!   [`test_runner::MAX_CASES`] (64) so `cargo test -q` stays within CI
+//!   time; the `PROPTEST_CASES` environment variable overrides the
+//!   count exactly when set.
+//! * **String strategies** support the regex subset the suite uses:
+//!   literal chars, `[...]` classes with ranges, and `{n}` / `{m,n}` /
+//!   `?` / `*` / `+` quantifiers.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the test files import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Mirrors proptest's macro of the same name:
+/// an optional `#![proptest_config(...)]` inner attribute followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __cases = __config.resolved_cases();
+                let __fn_seed = $crate::test_runner::fn_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::new(
+                        __fn_seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let __value =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push(::std::format!(
+                            "{} = {:?}", stringify!($pat), &__value
+                        ));
+                        let $pat = __value;
+                    )+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        ::std::eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:\n  {}",
+                            stringify!($name), __case + 1, __cases, __inputs.join("\n  ")
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}

@@ -1,0 +1,30 @@
+//! Option strategies (shim: `of` only).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Probability that [`of`] produces `Some`, chosen to exercise both
+/// variants while favouring the interesting one.
+const SOME_PROBABILITY: f64 = 0.75;
+
+/// Strategy producing `Option`s of values from an inner strategy.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < SOME_PROBABILITY {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option` strategy over `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,153 @@
+//! String generation from the regex subset the suite uses: literal
+//! characters, `[...]` classes with ranges, and `{n}` / `{m,n}` / `?` /
+//! `*` / `+` quantifiers. Patterns are anchored (whole-string), as in
+//! real proptest.
+
+use crate::test_runner::TestRng;
+
+/// Longest expansion chosen for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            // `lo` was already pushed as a single char;
+                            // extend with the rest of the range.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(u).unwrap());
+                            }
+                        }
+                        Some(ch) => {
+                            let ch = if ch == '\\' {
+                                chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in {pattern:?}")
+                                })
+                            } else {
+                                ch
+                            };
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![esc]
+            }
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo.trim().parse().expect("bad quantifier");
+                        let hi: u32 = hi.trim().parse().expect("bad quantifier");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + (rng.below((atom.max - atom.min + 1) as u64) as u32);
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate("[a-z_][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_');
+            for c in cs {
+                assert!(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = generate("[a-z]{3}", &mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::new(3);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

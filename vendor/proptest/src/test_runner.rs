@@ -1,0 +1,84 @@
+//! Deterministic RNG and per-test configuration for the shim runner.
+
+/// Upper bound on cases per property, so `cargo test -q` stays inside
+/// CI time even when a test asks for more (the real crate's default of
+/// 256 is far beyond what the end-to-end oracles need). `PROPTEST_CASES`
+/// overrides the resolved count exactly.
+pub const MAX_CASES: u32 = 64;
+
+/// SplitMix64 generator driving all strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of a test's full path, used as its base seed so every
+/// property test has a stable, distinct case sequence.
+pub fn fn_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Per-`proptest!` block configuration (subset of the real struct).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Requested number of cases (clamped to [`MAX_CASES`] unless the
+    /// `PROPTEST_CASES` environment variable overrides it).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: MAX_CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running (up to) `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The number of cases actually run: the `PROPTEST_CASES`
+    /// environment variable when set, else `min(self.cases, MAX_CASES)`.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.parse::<u32>() {
+                Ok(n) => n.max(1),
+                Err(_) => self.cases.clamp(1, MAX_CASES),
+            },
+            Err(_) => self.cases.clamp(1, MAX_CASES),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Exercises the shim's failure path: a failing property repanics
+//! after printing the generated inputs, and passing properties drive
+//! every parameter kind the workspace suite uses.
+
+use proptest::prelude::*;
+
+// `proptest!` emits plain functions when no `#[test]` attribute is
+// given; wrap them so the failure path itself can be asserted on.
+proptest! {
+    fn always_fails(v in 0i64..10) {
+        prop_assert!(v < 0, "deliberately impossible: {v}");
+    }
+
+    fn mixed_params_hold(
+        n in 1usize..5,
+        flag in any::<bool>(),
+        name in "[a-z]{1,6}",
+        pair in (0u32..10, proptest::option::of(0i64..3)),
+        items in proptest::collection::vec(0u8..4, 1..6),
+    ) {
+        prop_assert!((1..5).contains(&n));
+        let _ = flag;
+        prop_assert!(!name.is_empty() && name.len() <= 6);
+        prop_assert!(pair.0 < 10);
+        prop_assert!(!items.is_empty() && items.iter().all(|&b| b < 4));
+    }
+}
+
+#[test]
+#[should_panic(expected = "deliberately impossible")]
+fn failing_property_repanics_with_inputs() {
+    always_fails();
+}
+
+#[test]
+fn passing_property_covers_all_parameter_kinds() {
+    mixed_params_hold();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn config_attribute_accepted(x in 0i64..100, y in 0i64..100) {
+        prop_assert_eq!(x + y, y + x);
+    }
+}

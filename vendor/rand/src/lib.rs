@@ -1,0 +1,175 @@
+//! Offline shim for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no access to a cargo registry, so this
+//! in-tree crate provides the slice of the rand 0.8 API the workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen_range` (over `Range`/`RangeInclusive`
+//! of the primitive integer types) and `gen_bool`.
+//!
+//! The generator is SplitMix64 — deterministic, seedable, and plenty
+//! for workload synthesis; it makes no cryptographic claims (neither
+//! do the generators, which only need reproducibility).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable RNG (subset of rand's trait of the same name).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be produced uniformly from an integer range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                ((lo as $wide as u128).wrapping_add(draw)) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain range: every draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                let draw = (rng.next_u64() as u128) % span;
+                ((lo as $wide as u128).wrapping_add(draw)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Extension methods over [`RngCore`] (subset of rand's `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        // 53 high bits → uniform in [0,1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}
