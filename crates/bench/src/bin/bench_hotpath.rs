@@ -1,0 +1,278 @@
+//! `bench_hotpath` — the perf-trajectory baseline for the
+//! middleware→minidb hot path.
+//!
+//! Two measurements, emitted as a text table and as
+//! `results/BENCH_hotpath.json` (the machine-readable perf trajectory
+//! every PR appends a data point to via CI):
+//!
+//! 1. **Cold vs warm repeat-query latency.** A querier's first query pays
+//!    guard generation + fragment compilation + rewrite + execution; a
+//!    repeat query is served from the guard cache and pays only the cheap
+//!    per-query assembly + execution. The ratio is the guard cache's win.
+//! 2. **Filter-loop throughput.** Rows/second through the engine's
+//!    batched, non-cloning predicate evaluator on a forced sequential
+//!    scan with a policy-shaped OR predicate.
+//!
+//! `--quick` shrinks the dataset and repetition counts for CI smoke runs;
+//! the usual `SIEVE_SCALE`/`SIEVE_DAYS` env knobs are honoured otherwise.
+
+use minidb::expr::{ColumnRef, Expr};
+use minidb::plan::{IndexHint, TableRef};
+use minidb::{SelectQuery, Value};
+use sieve_bench::harness::{build_campus, emit, queriers_with_policies, EnvConfig};
+use sieve_bench::table::{mean, render};
+use sieve_core::policy::QueryMetadata;
+use sieve_workload::WIFI_TABLE;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    env: EnvConfig,
+    queriers: usize,
+    warm_reps: usize,
+    filter_reps: usize,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let mut env = EnvConfig::from_env();
+        if quick {
+            env.scale = 0.004;
+            env.days = 20;
+        }
+        Config {
+            quick,
+            env,
+            queriers: if quick { 3 } else { 5 },
+            warm_reps: if quick { 5 } else { 10 },
+            filter_reps: if quick { 3 } else { 6 },
+        }
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let purpose = "Analytics";
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== bench_hotpath (scale={}, days={}, quick={}) ===\n",
+        cfg.env.scale, cfg.env.days, cfg.quick
+    );
+
+    let mut campus = build_campus(minidb::DbProfile::MySqlLike, &cfg.env);
+
+    // Queriers with the largest relevant policy sets: the paper's heavy
+    // case, and the one where generation dominates cold latency.
+    let queriers: Vec<i64> = {
+        let mut floor = 100usize;
+        loop {
+            let qs = queriers_with_policies(&campus, purpose, floor);
+            if qs.len() >= cfg.queriers || floor <= 10 {
+                break qs.into_iter().take(cfg.queriers).map(|(q, _)| q).collect();
+            }
+            floor -= 10;
+        }
+    };
+    assert!(!queriers.is_empty(), "campus must contain queriers");
+
+    // ---- 1. Cold vs warm repeat-query latency through the middleware.
+    // A selective Q1-style query (the paper's location-surveillance
+    // template): execution is a few milliseconds, so the cold query is
+    // dominated by exactly what the guard cache amortizes — guard
+    // generation and fragment compilation.
+    let q = sieve_workload::query_gen::generate_query(
+        &campus.dataset,
+        sieve_workload::QueryClass::Q1,
+        sieve_workload::Selectivity::Low,
+        7,
+    );
+    let mut cold_prepare = Vec::new();
+    let mut warm_prepare = Vec::new();
+    let mut cold_e2e = Vec::new();
+    let mut warm_e2e = Vec::new();
+    let mut result_rows = 0usize;
+    for &querier in &queriers {
+        let qm = QueryMetadata::new(querier, purpose);
+        // Cold prepare: empty cache → guard generation + fragment
+        // compilation + per-query assembly. This is the latency the guard
+        // cache exists to amortize.
+        campus.sieve.invalidate_all();
+        let t0 = Instant::now();
+        campus.sieve.rewrite(&q, &qm).expect("cold rewrite");
+        cold_prepare.push(ms(t0.elapsed()));
+        // Cold end-to-end for context (fresh cache again).
+        campus.sieve.invalidate_all();
+        let t0 = Instant::now();
+        let res = campus.sieve.execute(&q, &qm).expect("cold query");
+        cold_e2e.push(ms(t0.elapsed()));
+        result_rows = res.len();
+        // Warm: repeat queries served from the guard cache.
+        let mut prep = Vec::with_capacity(cfg.warm_reps);
+        let mut e2e = Vec::with_capacity(cfg.warm_reps);
+        for _ in 0..cfg.warm_reps {
+            let t = Instant::now();
+            campus.sieve.rewrite(&q, &qm).expect("warm rewrite");
+            prep.push(ms(t.elapsed()));
+            let t = Instant::now();
+            campus.sieve.execute(&q, &qm).expect("warm query");
+            e2e.push(ms(t.elapsed()));
+        }
+        warm_prepare.push(mean(&prep).unwrap_or(f64::NAN));
+        warm_e2e.push(mean(&e2e).unwrap_or(f64::NAN));
+    }
+    let cold_prepare_ms = mean(&cold_prepare).unwrap_or(f64::NAN);
+    let warm_prepare_ms = mean(&warm_prepare).unwrap_or(f64::NAN);
+    let cold_e2e_ms = mean(&cold_e2e).unwrap_or(f64::NAN);
+    let warm_e2e_ms = mean(&warm_e2e).unwrap_or(f64::NAN);
+    let prepare_speedup = cold_prepare_ms / warm_prepare_ms.max(f64::EPSILON);
+    let e2e_speedup = cold_e2e_ms / warm_e2e_ms.max(f64::EPSILON);
+    let stats = campus.sieve.cache_stats();
+
+    let _ = writeln!(out, "--- cold vs warm repeat-query latency ---");
+    let _ = writeln!(
+        out,
+        "{}",
+        render(
+            &["metric", "value"],
+            &[
+                vec!["queriers".into(), queriers.len().to_string()],
+                vec![
+                    "cold prepare ms (gen+compile+rewrite)".into(),
+                    format!("{cold_prepare_ms:.3}")
+                ],
+                vec![
+                    "warm prepare ms (cached)".into(),
+                    format!("{warm_prepare_ms:.4}")
+                ],
+                vec![
+                    "prepare speedup".into(),
+                    format!("{prepare_speedup:.1}x")
+                ],
+                vec!["cold e2e ms".into(), format!("{cold_e2e_ms:.3}")],
+                vec!["warm e2e ms".into(), format!("{warm_e2e_ms:.3}")],
+                vec!["e2e speedup".into(), format!("{e2e_speedup:.2}x")],
+                vec!["cache hits".into(), stats.hits.to_string()],
+                vec!["cache misses".into(), stats.misses.to_string()],
+                vec![
+                    "fragment builds".into(),
+                    stats.fragment_builds.to_string()
+                ],
+                vec!["fragment hits".into(), stats.fragment_hits.to_string()],
+            ]
+        )
+    );
+
+    // ---- 2. Filter-loop throughput: forced sequential scan with a
+    // policy-shaped OR predicate through the batched evaluator.
+    let table_rows = campus
+        .sieve
+        .db()
+        .table(WIFI_TABLE)
+        .expect("wifi table")
+        .table
+        .len();
+    let owners: Vec<i64> = campus
+        .dataset
+        .devices
+        .iter()
+        .take(8)
+        .map(|d| d.id)
+        .collect();
+    let pred = Expr::any(
+        owners
+            .iter()
+            .map(|&o| Expr::col_eq(ColumnRef::bare("owner"), Value::Int(o)))
+            .collect(),
+    );
+    let scan_q = SelectQuery {
+        from: vec![TableRef::named(WIFI_TABLE).with_hint(IndexHint::IgnoreAll)],
+        ..SelectQuery::star_from(WIFI_TABLE)
+    }
+    .filter(pred);
+    // Warm-up, then timed passes.
+    let _ = campus.sieve.db().run_query(&scan_q).expect("scan warm-up");
+    let t0 = Instant::now();
+    let mut filter_out_rows = 0usize;
+    for _ in 0..cfg.filter_reps {
+        filter_out_rows = campus.sieve.db().run_query(&scan_q).expect("scan").len();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let scanned = (table_rows * cfg.filter_reps) as f64;
+    let filter_rows_per_sec = scanned / elapsed.max(f64::EPSILON);
+
+    let _ = writeln!(out, "--- batched filter loop (forced SeqScan) ---");
+    let _ = writeln!(
+        out,
+        "{}",
+        render(
+            &["metric", "value"],
+            &[
+                vec!["table rows".into(), table_rows.to_string()],
+                vec!["passes".into(), cfg.filter_reps.to_string()],
+                vec!["output rows/pass".into(), filter_out_rows.to_string()],
+                vec![
+                    "rows/sec".into(),
+                    format!("{:.0}", filter_rows_per_sec)
+                ],
+            ]
+        )
+    );
+
+    if prepare_speedup < 5.0 {
+        let _ = writeln!(
+            out,
+            "\nWARNING: warm prepare speedup {prepare_speedup:.1}x below the 5x target"
+        );
+    }
+    emit("bench_hotpath", &out);
+
+    // Machine-readable trajectory point.
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"hotpath\",\n  \
+           \"quick\": {quick},\n  \
+           \"scale\": {scale},\n  \
+           \"days\": {days},\n  \
+           \"queriers\": {queriers},\n  \
+           \"result_rows\": {result_rows},\n  \
+           \"cold_prepare_ms_mean\": {cold_prepare_ms:.4},\n  \
+           \"warm_prepare_ms_mean\": {warm_prepare_ms:.4},\n  \
+           \"prepare_speedup\": {prepare_speedup:.2},\n  \
+           \"cold_e2e_ms_mean\": {cold_e2e_ms:.3},\n  \
+           \"warm_e2e_ms_mean\": {warm_e2e_ms:.3},\n  \
+           \"e2e_speedup\": {e2e_speedup:.2},\n  \
+           \"filter_table_rows\": {table_rows},\n  \
+           \"filter_passes\": {passes},\n  \
+           \"filter_output_rows\": {filter_out_rows},\n  \
+           \"filter_rows_per_sec\": {filter_rows_per_sec:.0},\n  \
+           \"cache\": {{\n    \
+             \"hits\": {hits},\n    \
+             \"misses\": {misses},\n    \
+             \"fragment_builds\": {fb},\n    \
+             \"fragment_hits\": {fh}\n  \
+           }}\n\
+         }}\n",
+        quick = cfg.quick,
+        scale = cfg.env.scale,
+        days = cfg.env.days,
+        queriers = queriers.len(),
+        passes = cfg.filter_reps,
+        hits = stats.hits,
+        misses = stats.misses,
+        fb = stats.fragment_builds,
+        fh = stats.fragment_hits,
+    );
+    let _ = std::fs::create_dir_all("results");
+    let path = std::path::Path::new("results").join("BENCH_hotpath.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

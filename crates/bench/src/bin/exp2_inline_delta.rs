@@ -19,7 +19,7 @@ use sieve_core::guard::{Guard, GuardedExpression};
 use sieve_core::policy::{
     CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec,
 };
-use sieve_core::rewrite::{rewrite_query, DeltaMode, RewriteOptions};
+use sieve_core::rewrite::{compile_relations, rewrite_query, DeltaMode, RewriteOptions};
 use sieve_core::CostModel;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -115,7 +115,11 @@ fn run_single_guard(
         delta_mode: mode,
         ..Default::default()
     };
-    let rewritten = match rewrite_query(db, &delta, &query, &guarded, &by_id, cost, &opts) {
+    let compiled = match compile_relations(db, &delta, &guarded, &by_id, cost, mode) {
+        Ok(c) => c,
+        Err(_) => return (None, None),
+    };
+    let rewritten = match rewrite_query(db, &query, &compiled, cost, &opts) {
         Ok(r) => r.query,
         Err(_) => return (None, None),
     };

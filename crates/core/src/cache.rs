@@ -1,0 +1,303 @@
+//! The compile-once guard cache.
+//!
+//! Guarded-expression generation (candidate merging + set cover) and
+//! rewrite-fragment compilation (policy DNF construction, ∆ partition
+//! registration) are the two expensive steps between a query arriving and
+//! the engine running it. Both depend only on `(querier, purpose,
+//! relation)` — not on the query — so [`GuardCache`] stores both per key
+//! and the middleware's hot path reduces to a hash lookup plus cheap
+//! per-query assembly. Entries are invalidated precisely through
+//! [`crate::middleware::Sieve::add_policy`]: a new policy marks exactly
+//! the keys it affects outdated, and stale entries regenerate lazily per
+//! the configured [`crate::dynamic::RegenerationPolicy`] (paper Section 6).
+
+use crate::guard::GuardedExpression;
+use crate::policy::{PolicyId, UserId};
+use crate::rewrite::{DeltaMode, GuardFragment};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the triple a guarded expression is generated for.
+pub type GuardCacheKey = (UserId, String, String);
+
+/// Observability counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardCacheStats {
+    /// Lookups that found a fresh guarded expression.
+    pub hits: u64,
+    /// Lookups that required (re)generation.
+    pub misses: u64,
+    /// Entries marked outdated by policy insertions.
+    pub invalidations: u64,
+    /// Rewrite fragments compiled (the work warm queries skip).
+    pub fragment_builds: u64,
+    /// Lookups served by an already-compiled fragment.
+    pub fragment_hits: u64,
+}
+
+/// A compiled rewrite fragment plus the state it was built against, so
+/// staleness is detectable without comparing expressions.
+#[derive(Debug)]
+pub struct CachedFragment {
+    /// The compiled fragment.
+    pub fragment: Arc<GuardFragment>,
+    /// `pending.len()` at compile time: a changed pending set means the
+    /// effective expression gained branches the fragment lacks.
+    pub pending_len: usize,
+    /// Inline-vs-∆ mode at compile time.
+    pub delta_mode: DeltaMode,
+}
+
+/// One cache entry: the generated expression, the effective expression
+/// queries actually run under (base + pending-policy fallback branches),
+/// and the compiled rewrite fragment.
+#[derive(Debug)]
+pub struct CachedGuard {
+    /// The expression as generated (no pending branches).
+    pub base: Arc<GuardedExpression>,
+    /// Base plus per-owner branches for pending policies; equals `base`
+    /// while `pending` is empty.
+    pub effective: Arc<GuardedExpression>,
+    /// `pending.len()` reflected in `effective`.
+    pub effective_pending_len: usize,
+    /// Compiled fragment of `effective`, if built.
+    pub fragment: Option<CachedFragment>,
+    /// True once a relevant policy arrived after generation.
+    pub outdated: bool,
+    /// Policies inserted since generation that apply to this key.
+    pub pending: Vec<PolicyId>,
+}
+
+impl CachedGuard {
+    /// Fresh entry for a newly generated expression.
+    pub fn new(base: Arc<GuardedExpression>) -> Self {
+        CachedGuard {
+            effective: Arc::clone(&base),
+            base,
+            effective_pending_len: 0,
+            fragment: None,
+            outdated: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// True iff the compiled fragment (if any) matches the current
+    /// effective expression and delta mode.
+    pub fn fragment_fresh(&self, delta_mode: DeltaMode) -> bool {
+        self.fragment.as_ref().is_some_and(|f| {
+            f.pending_len == self.pending.len() && f.delta_mode == delta_mode
+        })
+    }
+}
+
+/// Bound on cached entries. Each entry pins its fragment's ∆ partitions
+/// in the registry, so the cache must stay bounded even with millions of
+/// distinct queriers; at the cap the whole cache is dropped (hot keys
+/// repopulate on their next query, a full generation each — rare enough
+/// at this size that LRU bookkeeping on every hit would cost more).
+pub const GUARD_CACHE_CAP: usize = 4096;
+
+/// The cache proper: keyed entries plus counters.
+#[derive(Debug, Default)]
+pub struct GuardCache {
+    entries: HashMap<GuardCacheKey, CachedGuard>,
+    stats: GuardCacheStats,
+}
+
+impl GuardCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> GuardCacheStats {
+        self.stats
+    }
+
+    /// Immutable entry lookup.
+    pub fn get(&self, key: &GuardCacheKey) -> Option<&CachedGuard> {
+        self.entries.get(key)
+    }
+
+    /// Mutable entry lookup.
+    pub fn get_mut(&mut self, key: &GuardCacheKey) -> Option<&mut CachedGuard> {
+        self.entries.get_mut(key)
+    }
+
+    /// Insert (replacing) an entry for a freshly generated expression and
+    /// count the miss. Returns the ∆ keys of displaced fragments — the
+    /// replaced entry's, plus every entry's when the insert tripped the
+    /// [`GUARD_CACHE_CAP`] bound — so the caller can free them.
+    pub fn insert_generated(
+        &mut self,
+        key: GuardCacheKey,
+        base: Arc<GuardedExpression>,
+    ) -> Vec<crate::delta::PartitionKey> {
+        self.stats.misses += 1;
+        let mut freed = if self.entries.len() >= GUARD_CACHE_CAP && !self.entries.contains_key(&key)
+        {
+            self.clear()
+        } else {
+            Vec::new()
+        };
+        let old = self.entries.insert(key, CachedGuard::new(base));
+        if let Some(f) = old.and_then(|e| e.fragment) {
+            freed.extend_from_slice(&f.fragment.delta_keys);
+        }
+        freed
+    }
+
+    /// Count a hit on the guarded-expression level.
+    pub fn record_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Count a fragment-level hit.
+    pub fn record_fragment_hit(&mut self) {
+        self.stats.fragment_hits += 1;
+    }
+
+    /// Count a fragment build.
+    pub fn record_fragment_build(&mut self) {
+        self.stats.fragment_builds += 1;
+    }
+
+    /// Mark every entry selected by `affects` outdated, recording `policy`
+    /// as pending on it. Returns the number of entries invalidated.
+    pub fn invalidate_where(
+        &mut self,
+        policy: PolicyId,
+        mut affects: impl FnMut(&GuardCacheKey) -> bool,
+    ) -> usize {
+        let mut n = 0;
+        for (key, entry) in self.entries.iter_mut() {
+            if affects(key) {
+                entry.outdated = true;
+                entry.pending.push(policy);
+                n += 1;
+            }
+        }
+        self.stats.invalidations += n as u64;
+        n
+    }
+
+    /// Drop every entry, returning all ∆ partition keys referenced by
+    /// cached fragments so the caller can free them in the registry.
+    pub fn clear(&mut self) -> Vec<crate::delta::PartitionKey> {
+        let mut keys = Vec::new();
+        for (_, entry) in self.entries.drain() {
+            if let Some(f) = entry.fragment {
+                keys.extend_from_slice(&f.fragment.delta_keys);
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardedExpression;
+
+    fn ge(relation: &str) -> Arc<GuardedExpression> {
+        Arc::new(GuardedExpression {
+            relation: relation.to_string(),
+            querier: 1,
+            purpose: "Any".into(),
+            guards: vec![],
+        })
+    }
+
+    fn key(querier: i64, relation: &str) -> GuardCacheKey {
+        (querier, "Any".to_string(), relation.to_string())
+    }
+
+    #[test]
+    fn insert_and_hit_counting() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"));
+        assert_eq!(c.stats().misses, 1);
+        assert!(c.get(&key(1, "r")).is_some());
+        c.record_hit();
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_where_marks_matching_entries() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(2, "r"), ge("r"));
+        c.insert_generated(key(1, "s"), ge("s"));
+        let n = c.invalidate_where(42, |(_, _, rel)| rel == "r");
+        assert_eq!(n, 2);
+        assert!(c.get(&key(1, "r")).unwrap().outdated);
+        assert_eq!(c.get(&key(2, "r")).unwrap().pending, vec![42]);
+        assert!(!c.get(&key(1, "s")).unwrap().outdated);
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn cap_bounds_entries_and_reports_freed_keys() {
+        let mut c = GuardCache::new();
+        for i in 0..GUARD_CACHE_CAP as i64 {
+            c.insert_generated(key(i, "r"), ge("r"));
+        }
+        assert_eq!(c.len(), GUARD_CACHE_CAP);
+        // Give one entry a fragment with a ∆ key so the flush reports it.
+        c.get_mut(&key(0, "r")).unwrap().fragment = Some(CachedFragment {
+            fragment: Arc::new(GuardFragment {
+                branches: vec![],
+                guard_attrs: vec![],
+                est_guard_rows: 0.0,
+                delta_guards: 1,
+                delta_keys: vec![77],
+                delta_mode: DeltaMode::Auto,
+            }),
+            pending_len: 0,
+            delta_mode: DeltaMode::Auto,
+        });
+        // A new key at the cap flushes everything (freed keys bubble up);
+        // re-inserting an existing key does not.
+        let freed = c.insert_generated(key(1, "r"), ge("r"));
+        assert!(freed.is_empty());
+        assert_eq!(c.len(), GUARD_CACHE_CAP);
+        let freed = c.insert_generated(key(-1, "r"), ge("r"));
+        assert_eq!(freed, vec![77]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fragment_freshness_tracks_pending_and_mode() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"));
+        let e = c.get_mut(&key(1, "r")).unwrap();
+        assert!(!e.fragment_fresh(DeltaMode::Auto), "no fragment yet");
+        e.fragment = Some(CachedFragment {
+            fragment: Arc::new(GuardFragment {
+                branches: vec![],
+                guard_attrs: vec![],
+                est_guard_rows: 0.0,
+                delta_guards: 0,
+                delta_keys: vec![],
+                delta_mode: DeltaMode::Auto,
+            }),
+            pending_len: 0,
+            delta_mode: DeltaMode::Auto,
+        });
+        assert!(e.fragment_fresh(DeltaMode::Auto));
+        assert!(!e.fragment_fresh(DeltaMode::Always), "mode change stales");
+        e.pending.push(7);
+        assert!(!e.fragment_fresh(DeltaMode::Auto), "pending change stales");
+    }
+}

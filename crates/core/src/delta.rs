@@ -160,10 +160,31 @@ impl DeltaRegistry {
         Ok(key)
     }
 
-    /// Drop all registered partitions (used on guard regeneration).
+    /// Drop all registered partitions (used on full cache invalidation).
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.partitions.clear();
+    }
+
+    /// Drop specific partitions — the precise invalidation path: a cached
+    /// rewrite fragment that is regenerated (or evicted) frees exactly the
+    /// partitions its ∆ calls referenced, leaving every other fragment's
+    /// registrations live.
+    pub fn remove(&self, keys: &[PartitionKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        for k in keys {
+            inner.partitions.remove(k);
+        }
+    }
+
+    /// The highest partition key issued so far. Keys are monotonically
+    /// increasing, so two watermarks bracket the registrations made in
+    /// between (used to reclaim baseline-rewrite partitions).
+    pub fn watermark(&self) -> PartitionKey {
+        self.inner.read().next_key
     }
 
     /// Number of live partitions.
@@ -375,5 +396,36 @@ mod tests {
         assert_eq!(reg.len(), 1);
         reg.clear();
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn remove_frees_exactly_the_named_partitions() {
+        let reg = DeltaRegistry::new();
+        let p1 = policy(1, 1200);
+        let p2 = policy(2, 1300);
+        let k1 = reg.register_partition(&schema(), &[&p1]).unwrap();
+        let k2 = reg.register_partition(&schema(), &[&p2]).unwrap();
+        reg.remove(&[k1]);
+        assert_eq!(reg.len(), 1);
+        // The surviving partition still evaluates.
+        assert!(invoke(
+            &reg,
+            k2,
+            &[Value::Int(0), Value::Int(2), Value::Int(1300), Value::Time(0)]
+        ));
+        reg.remove(&[]); // no-op
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn watermarks_bracket_registrations() {
+        let reg = DeltaRegistry::new();
+        let p = policy(1, 1200);
+        let before = reg.watermark();
+        let k1 = reg.register_partition(&schema(), &[&p]).unwrap();
+        let k2 = reg.register_partition(&schema(), &[&p]).unwrap();
+        let after = reg.watermark();
+        let bracketed: Vec<PartitionKey> = ((before + 1)..=after).collect();
+        assert_eq!(bracketed, vec![k1, k2]);
     }
 }

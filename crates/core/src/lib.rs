@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod cost;
 pub mod delta;
 pub mod deny;
@@ -38,6 +39,7 @@ pub mod rewrite;
 pub mod semantics;
 pub mod store;
 
+pub use cache::{GuardCache, GuardCacheStats};
 pub use cost::{AccessStrategy, CostModel, StrategyCosts};
 pub use filter::{policy_applies, relevant_policies, GroupDirectory};
 pub use guard::{Guard, GuardSelectionStrategy, GuardedExpression};

@@ -11,17 +11,20 @@
 use crate::baselines::{
     rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
 };
+use crate::cache::{CachedFragment, GuardCache, GuardCacheKey, GuardCacheStats};
 use crate::cost::CostModel;
-use crate::delta::DeltaRegistry;
+use crate::delta::{DeltaRegistry, PartitionKey};
 use crate::dynamic::{optimal_regeneration_interval, RegenerationPolicy};
 use crate::filter::{policy_applies, relevant_policies, GroupDirectory};
 use crate::guard::{
     generate_guarded_expression, Guard, GuardSelectionStrategy, GuardedExpression,
 };
 use crate::policy::{
-    CondPredicate, ObjectCondition, Policy, PolicyId, QueryMetadata, UserId, OWNER_ATTR,
+    CondPredicate, ObjectCondition, Policy, PolicyId, QueryMetadata, OWNER_ATTR,
 };
-use crate::rewrite::{rewrite_query, RewriteOptions, RewriteOutput};
+use crate::rewrite::{
+    compile_guard_fragment, rewrite_query, CompiledRelation, RewriteOptions, RewriteOutput,
+};
 use crate::store::{
     create_policy_tables, persist_guarded_expression, persist_policy, GuardTableIds,
     PolicyStore,
@@ -34,6 +37,10 @@ use minidb::{Database, QueryResult, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Bound on the parsed-SQL cache (entries); repeat textual queries skip
+/// the parser, a full cache is simply dropped.
+const SQL_CACHE_CAP: usize = 256;
 
 /// Configuration of the middleware.
 #[derive(Debug, Clone, Default)]
@@ -49,13 +56,6 @@ pub struct SieveOptions {
     /// Mirror policies and guards into the `rP`/`rOC`/`rGE`/`rGG`/`rGP`
     /// relations (Section 5.1).
     pub persist: bool,
-}
-
-#[derive(Debug, Clone)]
-struct CachedGuard {
-    expr: GuardedExpression,
-    outdated: bool,
-    pending: Vec<PolicyId>,
 }
 
 /// Which enforcement mechanism to run a query under (for experiments).
@@ -77,10 +77,16 @@ pub struct Sieve {
     cost: CostModel,
     delta: Arc<DeltaRegistry>,
     options: SieveOptions,
-    cache: HashMap<(UserId, String, String), CachedGuard>,
+    cache: GuardCache,
     protected: HashSet<String>,
     guard_ids: GuardTableIds,
     oc_id: i64,
+    /// ∆ partitions registered by the last baseline rewrite, reclaimed on
+    /// the next one (baselines bypass the guard cache).
+    baseline_delta_keys: Vec<PartitionKey>,
+    /// Parsed-SQL cache for [`Sieve::execute_sql`]: repeat textual queries
+    /// reuse the AST instead of re-parsing.
+    sql_cache: HashMap<String, Arc<SelectQuery>>,
     /// Guarded-expression generations performed (observability).
     pub generations: u64,
 }
@@ -101,10 +107,12 @@ impl Sieve {
             cost: CostModel::default(),
             delta,
             options,
-            cache: HashMap::new(),
+            cache: GuardCache::new(),
             protected: HashSet::new(),
             guard_ids: GuardTableIds::default(),
             oc_id: 0,
+            baseline_delta_keys: Vec::new(),
+            sql_cache: HashMap::new(),
             generations: 0,
         })
     }
@@ -178,16 +186,15 @@ impl Sieve {
         if self.options.persist {
             persist_policy(&mut self.db, &stored, &mut self.oc_id)?;
         }
-        // Outdate every cached expression the policy affects.
-        for ((querier, purpose, relation), cached) in self.cache.iter_mut() {
-            if *relation == stored.relation {
+        // Outdate exactly the cached expressions the policy affects (the
+        // precise invalidation path of Section 6's delta machinery).
+        let groups = &self.groups;
+        self.cache.invalidate_where(id, |(querier, purpose, relation)| {
+            *relation == stored.relation && {
                 let qm = QueryMetadata::new(*querier, purpose.clone());
-                if policy_applies(&stored, &qm, &self.groups) {
-                    cached.outdated = true;
-                    cached.pending.push(id);
-                }
+                policy_applies(&stored, &qm, groups)
             }
-        }
+        });
         Ok(id)
     }
 
@@ -199,9 +206,22 @@ impl Sieve {
         Ok(())
     }
 
-    /// Drop all cached guarded expressions.
+    /// Drop all cached guarded expressions and free their ∆ partitions.
     pub fn invalidate_all(&mut self) {
-        self.cache.clear();
+        let keys = self.cache.clear();
+        self.delta.remove(&keys);
+        self.delta.remove(&std::mem::take(&mut self.baseline_delta_keys));
+    }
+
+    /// Guard-cache counters (hits, misses, invalidations, fragment work).
+    pub fn cache_stats(&self) -> GuardCacheStats {
+        self.cache.stats()
+    }
+
+    /// Live ∆ partitions (observability: cached fragments keep theirs
+    /// registered; precise invalidation must keep this bounded).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
     }
 
     /// Declare a relation access-controlled even before any policy exists
@@ -228,69 +248,142 @@ impl Sieve {
         qm: &QueryMetadata,
         relation: &str,
     ) -> DbResult<GuardedExpression> {
+        let key = self.refresh_entry(qm, relation)?;
+        Ok((*self.cache.get(&key).expect("refreshed").effective).clone())
+    }
+
+    /// Ensure the cache entry exists and is fresh per the regeneration
+    /// policy, with its effective expression (base + pending branches)
+    /// up to date. Returns the cache key. The warm path is a single cache
+    /// lookup.
+    fn refresh_entry(&mut self, qm: &QueryMetadata, relation: &str) -> DbResult<GuardCacheKey> {
         let key = (qm.querier, qm.purpose.clone(), relation.to_string());
-        let needs_generation = match self.cache.get(&key) {
-            None => true,
-            Some(c) if !c.outdated => false,
-            Some(c) => match self.options.regeneration {
-                RegenerationPolicy::Immediate => true,
-                RegenerationPolicy::Manual => false,
-                RegenerationPolicy::OptimalRate {
-                    queries_per_insertion,
-                } => {
-                    let guards = c.expr.guards.len().max(1) as f64;
-                    let rho_avg = c.expr.total_guard_rows() / guards;
-                    let k = optimal_regeneration_interval(
-                        &self.cost,
-                        rho_avg,
-                        queries_per_insertion,
-                    );
-                    c.pending.len() as f64 >= k
+        // One lookup decides both whether to regenerate and whether the
+        // effective expression must fold in newly pending policies.
+        let (needs_generation, stale_pending): (bool, Option<Vec<PolicyId>>) =
+            match self.cache.get(&key) {
+                None => (true, None),
+                Some(c) => {
+                    let needs = c.outdated
+                        && match self.options.regeneration {
+                            RegenerationPolicy::Immediate => true,
+                            RegenerationPolicy::Manual => false,
+                            RegenerationPolicy::OptimalRate {
+                                queries_per_insertion,
+                            } => {
+                                let guards = c.base.guards.len().max(1) as f64;
+                                let rho_avg = c.base.total_guard_rows() / guards;
+                                let k = optimal_regeneration_interval(
+                                    &self.cost,
+                                    rho_avg,
+                                    queries_per_insertion,
+                                );
+                                c.pending.len() as f64 >= k
+                            }
+                        };
+                    let stale = (!needs && c.effective_pending_len != c.pending.len())
+                        .then(|| c.pending.clone());
+                    (needs, stale)
                 }
-            },
-        };
+            };
 
         if needs_generation {
             let expr = self.generate(qm, relation)?;
-            self.cache.insert(
-                key.clone(),
-                CachedGuard {
-                    expr,
-                    outdated: false,
-                    pending: Vec::new(),
-                },
-            );
+            let freed = self.cache.insert_generated(key.clone(), Arc::new(expr));
+            self.delta.remove(&freed);
+        } else {
+            self.cache.record_hit();
         }
 
-        let cached = self.cache.get(&key).expect("present after generation");
-        if cached.pending.is_empty() {
-            return Ok(cached.expr.clone());
-        }
-        // Stale guards + pending policies as per-owner fallback branches
-        // (Section 6: queries between regenerations use G plus the k new
-        // policies).
-        let mut expr = cached.expr.clone();
-        let entry = self.db.table(relation)?;
-        let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
-        for pid in &cached.pending {
-            if let Some(p) = self.store.get(*pid) {
-                by_owner.entry(p.owner).or_default().push(*pid);
+        // Fold pending policies into the effective expression as per-owner
+        // fallback branches (Section 6: queries between regenerations use
+        // G plus the k new policies). Rebuilt only when the pending set
+        // changed since the last query; a freshly generated entry has no
+        // pending.
+        if let Some(pending) = stale_pending {
+            let mut expr = (*self.cache.get(&key).expect("present").base).clone();
+            let entry = self.db.table(relation)?;
+            let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
+            for pid in &pending {
+                if let Some(p) = self.store.get(*pid) {
+                    by_owner.entry(p.owner).or_default().push(*pid);
+                }
             }
+            let mut owners: Vec<i64> = by_owner.keys().copied().collect();
+            owners.sort_unstable();
+            for owner in owners {
+                let cond =
+                    ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
+                let est_rows = crate::guard::candidates::estimate_condition_rows(&cond, entry);
+                let mut ids = by_owner.remove(&owner).unwrap();
+                ids.sort_unstable();
+                expr.guards.push(Guard {
+                    condition: cond,
+                    policies: ids,
+                    est_rows,
+                });
+            }
+            let c = self.cache.get_mut(&key).expect("present");
+            c.effective = Arc::new(expr);
+            c.effective_pending_len = pending.len();
         }
-        let mut owners: Vec<i64> = by_owner.keys().copied().collect();
-        owners.sort_unstable();
-        for owner in owners {
-            let cond = ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
-            let est_rows = crate::guard::candidates::estimate_condition_rows(&cond, entry);
-            let mut ids = by_owner.remove(&owner).unwrap();
-            ids.sort_unstable();
-            expr.guards.push(Guard {
-                condition: cond,
-                policies: ids,
-                est_rows,
-            });
+        Ok(key)
+    }
+
+    /// The compiled relation (effective expression + rewrite fragment) for
+    /// a protected relation, reusing the cached fragment when fresh and
+    /// recompiling it (freeing the superseded ∆ partitions) when not.
+    fn compiled_relation(
+        &mut self,
+        qm: &QueryMetadata,
+        relation: &str,
+    ) -> DbResult<CompiledRelation> {
+        let key = self.refresh_entry(qm, relation)?;
+        let mode = self.options.rewrite.delta_mode;
+        // Warm path: one lookup checks freshness and extracts the output.
+        let fresh = {
+            let c = self.cache.get(&key).expect("refreshed");
+            c.fragment_fresh(mode).then(|| CompiledRelation {
+                expr: Arc::clone(&c.effective),
+                fragment: Arc::clone(&c.fragment.as_ref().expect("fresh implies built").fragment),
+            })
+        };
+        if let Some(out) = fresh {
+            self.cache.record_fragment_hit();
+            return Ok(out);
         }
-        Ok(expr)
+        let (old_keys, effective, pending_len) = {
+            let c = self.cache.get(&key).expect("refreshed");
+            (
+                c.fragment
+                    .as_ref()
+                    .map(|f| f.fragment.delta_keys.clone())
+                    .unwrap_or_default(),
+                Arc::clone(&c.effective),
+                c.pending.len(),
+            )
+        };
+        self.delta.remove(&old_keys);
+        let by_id = self.store.by_id();
+        let fragment = Arc::new(compile_guard_fragment(
+            &self.db,
+            &self.delta,
+            &effective,
+            &by_id,
+            &self.cost,
+            mode,
+        )?);
+        let c = self.cache.get_mut(&key).expect("refreshed");
+        c.fragment = Some(CachedFragment {
+            fragment: Arc::clone(&fragment),
+            pending_len,
+            delta_mode: mode,
+        });
+        self.cache.record_fragment_build();
+        Ok(CompiledRelation {
+            expr: effective,
+            fragment,
+        })
     }
 
     fn generate(&mut self, qm: &QueryMetadata, relation: &str) -> DbResult<GuardedExpression> {
@@ -313,28 +406,20 @@ impl Sieve {
     }
 
     /// Rewrite a query for a querier without executing it (Section 5.6's
-    /// output; useful for inspection and tests).
+    /// output; useful for inspection and tests). Satisfied by the guard
+    /// cache on repeat queries: both the guarded expression and its
+    /// compiled rewrite fragment (including ∆ registrations) are reused.
     pub fn rewrite(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
-        self.delta.clear();
-        let mut guarded: HashMap<String, GuardedExpression> = HashMap::new();
+        let mut compiled: HashMap<String, CompiledRelation> = HashMap::new();
         for tref in &query.from {
             if let TableSource::Named(rel) = &tref.source {
-                if self.protected.contains(rel) && !guarded.contains_key(rel) {
-                    let ge = self.guarded_expression(qm, rel)?;
-                    guarded.insert(rel.clone(), ge);
+                if self.protected.contains(rel) && !compiled.contains_key(rel) {
+                    let cr = self.compiled_relation(qm, rel)?;
+                    compiled.insert(rel.clone(), cr);
                 }
             }
         }
-        let by_id = self.store.by_id();
-        rewrite_query(
-            &self.db,
-            &self.delta,
-            query,
-            &guarded,
-            &by_id,
-            &self.cost,
-            &self.options.rewrite,
-        )
+        rewrite_query(&self.db, query, &compiled, &self.cost, &self.options.rewrite)
     }
 
     fn exec_options(&self) -> ExecOptions {
@@ -387,7 +472,11 @@ impl Sieve {
             Enforcement::Sieve => Ok(self.rewrite(query, qm)?.query),
             Enforcement::NoPolicies => Ok(query.clone()),
             Enforcement::Baseline(which) => {
-                self.delta.clear();
+                // Reclaim the previous baseline rewrite's ∆ partitions;
+                // cached guard fragments keep theirs registered.
+                self.delta
+                    .remove(&std::mem::take(&mut self.baseline_delta_keys));
+                let before = self.delta.watermark();
                 let mut rewritten = query.clone();
                 let rels: Vec<String> = query
                     .from
@@ -397,29 +486,52 @@ impl Sieve {
                         _ => None,
                     })
                     .collect();
+                let mut failed = None;
                 for rel in rels {
                     let relevant =
                         relevant_policies(self.store.iter(), &rel, qm, &self.groups);
                     rewritten = match which {
                         Baseline::P => rewrite_baseline_p(&rewritten, &rel, &relevant),
                         Baseline::I => rewrite_baseline_i(&rewritten, &rel, &relevant),
-                        Baseline::U => rewrite_baseline_u(
+                        Baseline::U => match rewrite_baseline_u(
                             &self.db,
                             &self.delta,
                             &rewritten,
                             &rel,
                             &relevant,
-                        )?,
+                        ) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        },
                     };
                 }
-                Ok(rewritten)
+                // Record the bracket even on failure, so partitions
+                // registered before a mid-loop error are reclaimed by the
+                // next baseline rewrite rather than leaked.
+                self.baseline_delta_keys = ((before + 1)..=self.delta.watermark()).collect();
+                match failed {
+                    Some(e) => Err(e),
+                    None => Ok(rewritten),
+                }
             }
         }
     }
 
-    /// Parse SQL, then [`Sieve::execute`].
+    /// Parse SQL, then [`Sieve::execute`]. Repeat textual queries reuse
+    /// the cached AST instead of re-parsing.
     pub fn execute_sql(&mut self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
-        let q = minidb::sql::parse(sql)?;
+        if let Some(q) = self.sql_cache.get(sql) {
+            let q = Arc::clone(q);
+            return self.execute(&q, qm);
+        }
+        let q = Arc::new(minidb::sql::parse(sql)?);
+        if self.sql_cache.len() >= SQL_CACHE_CAP {
+            self.sql_cache.clear();
+        }
+        self.sql_cache.insert(sql.to_string(), Arc::clone(&q));
         self.execute(&q, qm)
     }
 }

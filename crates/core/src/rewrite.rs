@@ -18,9 +18,16 @@
 //! Section 5.5), per-guard inline-vs-∆ (Section 5.4), and whether to push
 //! the query's own selective predicate into the guard branches
 //! (Section 5.5).
+//!
+//! Rewriting is split in two so the middleware's guard cache can amortize
+//! the expensive half: [`compile_guard_fragment`] turns a guarded
+//! expression into engine expressions once (policy DNF construction and ∆
+//! partition registration happen here), and [`rewrite_query`] assembles a
+//! concrete query from cached fragments — per-query work is only the
+//! strategy choice and predicate pushdown.
 
 use crate::cost::{AccessStrategy, CostModel};
-use crate::delta::{delta_call_expr, DeltaRegistry};
+use crate::delta::{delta_call_expr, DeltaRegistry, PartitionKey};
 use crate::guard::GuardedExpression;
 use crate::policy::{Policy, PolicyId};
 use minidb::error::DbResult;
@@ -83,6 +90,134 @@ pub struct RewriteOutput {
     pub relations: Vec<RelationRewrite>,
 }
 
+/// One guard branch compiled to engine expressions: the guard predicate
+/// and its partition filter (inline policy DNF or a ∆ call), kept apart so
+/// the per-query assembler can interleave a pushed query predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledBranch {
+    /// The guard predicate `oc_g`.
+    pub condition: Expr,
+    /// The partition filter `P_Gi` (policy DNF or `delta(key, …)` call).
+    pub partition: Expr,
+}
+
+/// The cacheable rewrite fragment of one guarded expression: every guard
+/// branch rendered to bound-ready expressions, with its ∆ registrations.
+/// Building this is the per-query cost the guard cache eliminates.
+#[derive(Debug, Clone)]
+pub struct GuardFragment {
+    /// Compiled branches, in guard order.
+    pub branches: Vec<CompiledBranch>,
+    /// Distinct guard attributes (sorted) — the FORCE INDEX column list.
+    pub guard_attrs: Vec<String>,
+    /// Σ ρ(G_i) at compile time.
+    pub est_guard_rows: f64,
+    /// How many branches route their partition through ∆.
+    pub delta_guards: usize,
+    /// ∆ partition keys this fragment registered; freed when the fragment
+    /// is invalidated or recompiled.
+    pub delta_keys: Vec<PartitionKey>,
+    /// The inline-vs-∆ policy the fragment was compiled under; a cached
+    /// fragment is stale when the middleware's option has changed.
+    pub delta_mode: DeltaMode,
+}
+
+/// A guarded expression paired with its compiled fragment — what the
+/// rewriter consumes per protected relation.
+#[derive(Debug, Clone)]
+pub struct CompiledRelation {
+    /// The (effective) guarded expression.
+    pub expr: Arc<GuardedExpression>,
+    /// Its compiled rewrite fragment.
+    pub fragment: Arc<GuardFragment>,
+}
+
+/// Compile a guarded expression into a reusable rewrite fragment: build
+/// each guard's partition expression (inlining the policy DNF or
+/// registering a ∆ partition per the cost model) exactly once.
+pub fn compile_guard_fragment(
+    db: &Database,
+    delta: &DeltaRegistry,
+    ge: &GuardedExpression,
+    by_id: &HashMap<PolicyId, &Policy>,
+    cost: &CostModel,
+    delta_mode: DeltaMode,
+) -> DbResult<GuardFragment> {
+    let entry = db.table(&ge.relation)?;
+    let schema = entry.schema();
+    let mut branches = Vec::with_capacity(ge.guards.len());
+    let mut delta_keys = Vec::new();
+    let mut delta_guards = 0usize;
+    for g in &ge.guards {
+        let partition_policies: Vec<&Policy> = g
+            .policies
+            .iter()
+            .filter_map(|id| by_id.get(id).copied())
+            .collect();
+        let has_derived = partition_policies.iter().any(|p| p.has_derived_condition());
+        let distinct_owners = {
+            let mut owners: Vec<i64> = partition_policies.iter().map(|p| p.owner).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            owners.len()
+        };
+        let use_delta = !has_derived
+            && match delta_mode {
+                DeltaMode::Never => false,
+                DeltaMode::Always => true,
+                DeltaMode::Auto => cost.prefer_delta(partition_policies.len(), distinct_owners),
+            };
+        let partition = if use_delta {
+            delta_guards += 1;
+            let key = delta.register_partition(schema, &partition_policies)?;
+            delta_keys.push(key);
+            delta_call_expr(key, schema)
+        } else {
+            Expr::any(partition_policies.iter().map(|p| p.to_expr()).collect())
+        };
+        branches.push(CompiledBranch {
+            condition: g.condition.to_expr(),
+            partition,
+        });
+    }
+    let mut guard_attrs: Vec<String> =
+        ge.guards.iter().map(|g| g.condition.attr.clone()).collect();
+    guard_attrs.sort_unstable();
+    guard_attrs.dedup();
+    Ok(GuardFragment {
+        branches,
+        guard_attrs,
+        est_guard_rows: ge.total_guard_rows(),
+        delta_guards,
+        delta_keys,
+        delta_mode,
+    })
+}
+
+/// Compile fragments for a map of guarded expressions (the one-shot path
+/// used by tests and direct callers without a middleware cache).
+pub fn compile_relations(
+    db: &Database,
+    delta: &DeltaRegistry,
+    guarded: &HashMap<String, GuardedExpression>,
+    by_id: &HashMap<PolicyId, &Policy>,
+    cost: &CostModel,
+    delta_mode: DeltaMode,
+) -> DbResult<HashMap<String, CompiledRelation>> {
+    let mut out = HashMap::new();
+    for (rel, ge) in guarded {
+        let fragment = compile_guard_fragment(db, delta, ge, by_id, cost, delta_mode)?;
+        out.insert(
+            rel.clone(),
+            CompiledRelation {
+                expr: Arc::new(ge.clone()),
+                fragment: Arc::new(fragment),
+            },
+        );
+    }
+    Ok(out)
+}
+
 /// Replace `alias.col` references with bare `col` references so an outer
 /// predicate can move inside a single-relation WITH body.
 fn strip_alias(e: &Expr, alias: &str) -> Expr {
@@ -134,15 +269,14 @@ fn strip_alias(e: &Expr, alias: &str) -> Expr {
     map(e, alias)
 }
 
-/// Rewrite a query under the guarded expressions of its protected
-/// relations. `guarded` maps relation name → the (fresh) guarded
-/// expression for the querier/purpose; `by_id` resolves policy ids.
+/// Rewrite a query under the compiled guard fragments of its protected
+/// relations. `compiled` maps relation name → the querier's compiled
+/// relation (see [`compile_guard_fragment`]); only cheap per-query work
+/// happens here — strategy choice, predicate pushdown, WITH assembly.
 pub fn rewrite_query(
     db: &Database,
-    delta: &DeltaRegistry,
     original: &SelectQuery,
-    guarded: &HashMap<String, GuardedExpression>,
-    by_id: &HashMap<PolicyId, &Policy>,
+    compiled: &HashMap<String, CompiledRelation>,
     cost: &CostModel,
     opts: &RewriteOptions,
 ) -> DbResult<RewriteOutput> {
@@ -180,7 +314,7 @@ pub fn rewrite_query(
         let TableSource::Named(rel) = &tref.source else {
             continue;
         };
-        let Some(ge) = guarded.get(rel) else {
+        let Some(cr) = compiled.get(rel) else {
             continue;
         };
         if let Some(existing) = created_with.get(rel) {
@@ -192,8 +326,9 @@ pub fn rewrite_query(
             continue;
         }
 
+        let ge = &cr.expr;
+        let fragment = &cr.fragment;
         let entry = db.table(rel)?;
-        let schema = entry.schema();
         let shared = occurrence_count.get(rel.as_str()).copied().unwrap_or(1) > 1;
 
         // Local query predicate for this alias, moved to bare columns.
@@ -212,61 +347,32 @@ pub fn rewrite_query(
             .and_then(|p| best_sargable_probe(entry, rel, p));
         let est_query_rows = query_probe.as_ref().map(|p| p.estimate_rows(entry));
 
-        let est_guard_rows = ge.total_guard_rows();
+        let est_guard_rows = fragment.est_guard_rows;
         let strategy = opts.forced_strategy.unwrap_or_else(|| {
             cost.strategy_costs(entry.table.len() as f64, est_guard_rows, est_query_rows)
                 .best()
         });
 
-        // Build one branch per guard.
+        // Assemble one branch per compiled guard.
         let push_qpred = !opts.no_predicate_pushdown
             && strategy == AccessStrategy::IndexGuards
             && local_bare.is_some();
-        let mut branches = Vec::with_capacity(ge.guards.len());
-        let mut delta_guards = 0usize;
-        for g in &ge.guards {
-            let partition: Vec<&Policy> = g
-                .policies
-                .iter()
-                .filter_map(|id| by_id.get(id).copied())
-                .collect();
-            let has_derived = partition.iter().any(|p| p.has_derived_condition());
-            let distinct_owners = {
-                let mut owners: Vec<i64> = partition.iter().map(|p| p.owner).collect();
-                owners.sort_unstable();
-                owners.dedup();
-                owners.len()
-            };
-            let use_delta = !has_derived
-                && match opts.delta_mode {
-                    DeltaMode::Never => false,
-                    DeltaMode::Always => true,
-                    DeltaMode::Auto => cost.prefer_delta(partition.len(), distinct_owners),
-                };
-            let partition_expr = if use_delta {
-                delta_guards += 1;
-                let key = delta.register_partition(schema, &partition)?;
-                delta_call_expr(key, schema)
-            } else {
-                Expr::any(partition.iter().map(|p| p.to_expr()).collect())
-            };
-            let mut parts = vec![g.condition.to_expr()];
+        let mut branches = Vec::with_capacity(fragment.branches.len());
+        for b in &fragment.branches {
+            let mut parts = vec![b.condition.clone()];
             if push_qpred {
                 parts.push(local_bare.clone().expect("push_qpred implies local"));
             }
-            parts.push(partition_expr);
+            parts.push(b.partition.clone());
             branches.push(Expr::all(parts));
         }
+        let delta_guards = fragment.delta_guards;
 
         // Assemble the WITH body per strategy.
         let guard_or = Expr::any(branches);
         let (body_pred, hint) = match strategy {
             AccessStrategy::IndexGuards => {
-                let mut attrs: Vec<String> =
-                    ge.guards.iter().map(|g| g.condition.attr.clone()).collect();
-                attrs.sort_unstable();
-                attrs.dedup();
-                (guard_or, IndexHint::Force(attrs))
+                (guard_or, IndexHint::Force(fragment.guard_attrs.clone()))
             }
             AccessStrategy::IndexQuery => {
                 let pred = match &local_bare {
@@ -413,23 +519,27 @@ mod tests {
         (m, cost)
     }
 
+    fn compiled_for<'a>(
+        db: &Database,
+        delta: &DeltaRegistry,
+        guarded: &HashMap<String, GuardedExpression>,
+        policies: &'a [Policy],
+        cost: &CostModel,
+        mode: DeltaMode,
+    ) -> HashMap<String, CompiledRelation> {
+        let by_id: HashMap<PolicyId, &'a Policy> = policies.iter().map(|p| (p.id, p)).collect();
+        compile_relations(db, delta, guarded, &by_id, cost, mode).unwrap()
+    }
+
     #[test]
     fn rewrite_adds_with_clause_and_repoints_from() {
         let (db, policies) = setup();
         let (guarded, cost) = guarded_for(&db, &policies);
-        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
         let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
         let q = SelectQuery::star_from("wifi_dataset");
-        let out = rewrite_query(
-            &db,
-            &delta,
-            &q,
-            &guarded,
-            &by_id,
-            &cost,
-            &RewriteOptions::default(),
-        )
-        .unwrap();
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
         assert_eq!(out.query.with.len(), 1);
         assert_eq!(out.query.with[0].name, "wifi_dataset_sieve");
         assert!(matches!(
@@ -444,19 +554,11 @@ mod tests {
     fn rewritten_query_enforces_policies() {
         let (db, policies) = setup();
         let (guarded, cost) = guarded_for(&db, &policies);
-        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
         let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
         let q = SelectQuery::star_from("wifi_dataset");
-        let out = rewrite_query(
-            &db,
-            &delta,
-            &q,
-            &guarded,
-            &by_id,
-            &cost,
-            &RewriteOptions::default(),
-        )
-        .unwrap();
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
         let result = db.run_query(&out.query).unwrap();
         // Oracle comparison.
         let refs: Vec<&Policy> = policies.iter().collect();
@@ -473,15 +575,15 @@ mod tests {
     fn delta_mode_always_routes_partitions() {
         let (mut db, policies) = setup();
         let (guarded, cost) = guarded_for(&db, &policies);
-        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
         let delta = DeltaRegistry::new();
         delta.install(&mut db);
+        let compiled = compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::Always);
         let q = SelectQuery::star_from("wifi_dataset");
         let opts = RewriteOptions {
             delta_mode: DeltaMode::Always,
             ..Default::default()
         };
-        let out = rewrite_query(&db, &delta, &q, &guarded, &by_id, &cost, &opts).unwrap();
+        let out = rewrite_query(&db, &q, &compiled, &cost, &opts).unwrap();
         assert!(out.relations[0].delta_guards > 0);
         assert_eq!(out.relations[0].delta_guards, out.relations[0].guard_count);
         // Still correct.
@@ -498,8 +600,9 @@ mod tests {
     fn query_predicate_pushdown_preserves_results() {
         let (db, policies) = setup();
         let (guarded, cost) = guarded_for(&db, &policies);
-        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
         let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
         let q = SelectQuery::star_from("wifi_dataset").filter(Expr::col_eq(
             ColumnRef::qualified("wifi_dataset", "wifi_ap"),
             Value::Int(1001),
@@ -510,7 +613,7 @@ mod tests {
                 forced_strategy: forced,
                 ..Default::default()
             };
-            let out = rewrite_query(&db, &delta, &q, &guarded, &by_id, &cost, &opts).unwrap();
+            let out = rewrite_query(&db, &q, &compiled, &cost, &opts).unwrap();
             let mut rows = db.run_query(&out.query).unwrap().rows;
             rows.sort();
             rows
@@ -540,38 +643,47 @@ mod tests {
         );
         let by_id = HashMap::new();
         let delta = DeltaRegistry::new();
+        let compiled =
+            compile_relations(&db, &delta, &guarded, &by_id, &cost, DeltaMode::default())
+                .unwrap();
         let q = SelectQuery::star_from("wifi_dataset");
-        let out = rewrite_query(
-            &db,
-            &delta,
-            &q,
-            &guarded,
-            &by_id,
-            &cost,
-            &RewriteOptions::default(),
-        )
-        .unwrap();
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
         let result = db.run_query(&out.query).unwrap();
         assert!(result.is_empty());
+    }
+
+    #[test]
+    fn compiled_fragment_reused_across_queries() {
+        // The same compiled fragment rewrites different queries (with and
+        // without a selective predicate) without re-registering partitions.
+        let (mut db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let delta = DeltaRegistry::new();
+        delta.install(&mut db);
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
+        let registered = delta.len();
+        let q1 = SelectQuery::star_from("wifi_dataset");
+        let q2 = SelectQuery::star_from("wifi_dataset").filter(Expr::col_eq(
+            ColumnRef::qualified("wifi_dataset", "wifi_ap"),
+            Value::Int(1001),
+        ));
+        let r1 = rewrite_query(&db, &q1, &compiled, &cost, &RewriteOptions::default()).unwrap();
+        let r2 = rewrite_query(&db, &q2, &compiled, &cost, &RewriteOptions::default()).unwrap();
+        assert_eq!(delta.len(), registered, "rewrites must not re-register ∆");
+        assert!(!db.run_query(&r1.query).unwrap().is_empty());
+        db.run_query(&r2.query).unwrap();
     }
 
     #[test]
     fn rendered_rewrite_is_parseable_sql() {
         let (db, policies) = setup();
         let (guarded, cost) = guarded_for(&db, &policies);
-        let by_id: HashMap<PolicyId, &Policy> = policies.iter().map(|p| (p.id, p)).collect();
         let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
         let q = SelectQuery::star_from("wifi_dataset");
-        let out = rewrite_query(
-            &db,
-            &delta,
-            &q,
-            &guarded,
-            &by_id,
-            &cost,
-            &RewriteOptions::default(),
-        )
-        .unwrap();
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
         let sql = minidb::sql::render_query(&out.query);
         let reparsed = minidb::sql::parse(&sql).unwrap();
         assert_eq!(reparsed, out.query);

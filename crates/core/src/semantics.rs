@@ -113,7 +113,7 @@ impl minidb::expr::QueryRunner for DbRunner<'_> {
     fn run_subquery(
         &self,
         query: &minidb::SelectQuery,
-        params: &std::collections::HashMap<String, Value>,
+        params: std::collections::HashMap<String, Value>,
     ) -> minidb::DbResult<Vec<Row>> {
         // Delegate to the engine with parameters carried via a fresh
         // executor; the public `run_query` has no parameter channel, so
@@ -123,7 +123,7 @@ impl minidb::expr::QueryRunner for DbRunner<'_> {
         // path is reachable via Database::run_query only without params,
         // so for correlated oracle evaluation we substitute params into
         // the query predicate before running.
-        let substituted = substitute_params(query, params);
+        let substituted = substitute_params(query, &params);
         Ok(self.db.run_query(&substituted)?.rows)
     }
 }

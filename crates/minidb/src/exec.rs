@@ -9,7 +9,7 @@
 
 use crate::catalog::{Database, TableEntry};
 use crate::error::{DbError, DbResult};
-use crate::expr::{bind, BoundExpr, ColumnRef, EvalContext, Expr, Layout, QueryRunner};
+use crate::expr::{bind, ColumnRef, EvalContext, Expr, FilterProgram, Layout, QueryRunner};
 use crate::plan::{AggFunc, IndexHint, SelectItem, SelectQuery, TableRef, TableSource};
 use crate::planner::{classify_predicate, plan_access, AccessPlan, JoinCond};
 use crate::schema::{Column, TableSchema};
@@ -108,35 +108,51 @@ impl Rel<'_> {
 
 }
 
+/// Rows evaluated per filter batch: big enough to amortize the deadline
+/// check and selection-vector bookkeeping, small enough to stay cache-hot.
+const FILTER_BATCH: usize = 1024;
+
+/// Concatenate an outer and inner row into one joined output row with a
+/// single exact-size allocation.
+fn concat_rows(orow: &[Value], irow: &[Value]) -> Row {
+    let mut combined = Vec::with_capacity(orow.len() + irow.len());
+    combined.extend_from_slice(orow);
+    combined.extend_from_slice(irow);
+    combined
+}
+
 /// Execute a query against a database.
 pub fn execute(db: &Database, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
     let exec = Exec {
         db,
-        temps: HashMap::new(),
+        temps: Arc::new(HashMap::new()),
         deadline: opts.timeout.map(|t| Instant::now() + t),
-        params: HashMap::new(),
+        params: Arc::new(HashMap::new()),
     };
     exec.run(query)
 }
 
 struct Exec<'a> {
     db: &'a Database,
-    temps: HashMap<String, Arc<TempTable>>,
+    /// Materialized WITH results, shared by reference with every
+    /// sub-executor (correlated subqueries spawn one per outer row).
+    temps: Arc<HashMap<String, Arc<TempTable>>>,
     deadline: Option<Instant>,
-    params: HashMap<String, Value>,
+    /// Correlation parameters, shared the same way.
+    params: Arc<HashMap<String, Value>>,
 }
 
 impl QueryRunner for Exec<'_> {
     fn run_subquery(
         &self,
         query: &SelectQuery,
-        params: &HashMap<String, Value>,
+        params: HashMap<String, Value>,
     ) -> DbResult<Vec<Row>> {
         let nested = Exec {
             db: self.db,
-            temps: self.temps.clone(),
+            temps: Arc::clone(&self.temps),
             deadline: self.deadline,
-            params: params.clone(),
+            params: Arc::new(params),
         };
         Ok(nested.run(query)?.rows)
     }
@@ -173,18 +189,29 @@ impl<'a> Exec<'a> {
         if query.with.is_empty() {
             return self.run_body(query);
         }
-        let mut nested = Exec {
-            db: self.db,
-            temps: self.temps.clone(),
-            deadline: self.deadline,
-            params: self.params.clone(),
-        };
+        // Each WITH clause sees the ones before it; only the map itself is
+        // rebuilt, the materialized tables are shared by Arc.
+        let mut temps = (*self.temps).clone();
         for wc in &query.with {
+            let nested = Exec {
+                db: self.db,
+                temps: Arc::new(temps),
+                deadline: self.deadline,
+                params: Arc::clone(&self.params),
+            };
             let result = nested.run(&wc.query)?;
-            nested
-                .temps
-                .insert(wc.name.clone(), Arc::new(TempTable::from_result(&wc.name, result)));
+            temps = Arc::try_unwrap(nested.temps).unwrap_or_else(|a| (*a).clone());
+            temps.insert(
+                wc.name.clone(),
+                Arc::new(TempTable::from_result(&wc.name, result)),
+            );
         }
+        let nested = Exec {
+            db: self.db,
+            temps: Arc::new(temps),
+            deadline: self.deadline,
+            params: Arc::clone(&self.params),
+        };
         nested.run_body(query)
     }
 
@@ -260,18 +287,25 @@ impl<'a> Exec<'a> {
         // Residual predicate (multi-table non-equi-join conjuncts).
         if !classified.residual.is_empty() {
             let residual = Expr::all(classified.residual.clone());
-            let bound = bind(&residual, &layout, None, &self.param_names())?;
+            let program =
+                FilterProgram::new(Some(bind(&residual, &layout, None, &self.param_names())?));
             let ctx = self.eval_ctx();
-            let mut kept = Vec::with_capacity(rows.len());
-            for (i, r) in rows.into_iter().enumerate() {
-                if i % 1024 == 0 {
-                    self.check_deadline()?;
+            // Batch into a keep-mask, then compact in place: survivors are
+            // moved, never cloned.
+            let mut keep = vec![false; rows.len()];
+            let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
+            let mut base = 0usize;
+            for chunk in rows.chunks(FILTER_BATCH) {
+                self.check_deadline()?;
+                sel.clear();
+                program.select_into(chunk, |r| r.as_slice(), &ctx, &mut sel)?;
+                for &i in &sel {
+                    keep[base + i as usize] = true;
                 }
-                if bound.eval_bool(&r, &ctx)? {
-                    kept.push(r);
-                }
+                base += chunk.len();
             }
-            rows = kept;
+            let mut it = keep.into_iter();
+            rows.retain(|_| it.next().unwrap_or(false));
         }
 
         // Aggregation or plain projection.
@@ -301,9 +335,10 @@ impl<'a> Exec<'a> {
             Some(p) => Some(bind(p, &layout, None, &self.param_names())?),
             None => None,
         };
+        let program = FilterProgram::new(bound);
         // Constant-false predicates (e.g. a guarded expression with no
         // guards — default deny) read nothing.
-        if let Some(BoundExpr::Literal(Value::Bool(false))) = &bound {
+        if program.drops_all() {
             return Ok(Vec::new());
         }
         let ctx = self.eval_ctx();
@@ -314,54 +349,55 @@ impl<'a> Exec<'a> {
                     .seq_pages((t.rows.len().div_ceil(ROWS_PER_PAGE)) as u64);
                 self.stats().tuples(t.rows.len() as u64);
                 let mut out = Vec::new();
-                for (i, r) in t.rows.iter().enumerate() {
-                    if i % 4096 == 0 {
-                        self.check_deadline()?;
-                    }
-                    if self.row_passes(&bound, r, &ctx)? {
-                        out.push(r.clone());
-                    }
-                }
+                self.filter_batched(&t.rows, &program, &ctx, &mut out)?;
                 Ok(out)
             }
             Rel::Base(entry) => {
                 let plan = plan_access(entry, alias, predicate, hint, self.db.profile());
-                self.scan_base(entry, &plan, &bound, &ctx)
+                self.scan_base(entry, &plan, &program, &ctx)
             }
         }
     }
 
-    fn row_passes(
+    /// Drive owned rows through a filter program in batches, cloning only
+    /// survivors into `out`.
+    fn filter_batched(
         &self,
-        bound: &Option<BoundExpr>,
-        row: &[Value],
+        rows: &[Row],
+        program: &FilterProgram,
         ctx: &EvalContext<'_>,
-    ) -> DbResult<bool> {
-        match bound {
-            Some(b) => b.eval_bool(row, ctx),
-            None => Ok(true),
+        out: &mut Vec<Row>,
+    ) -> DbResult<()> {
+        let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
+        for chunk in rows.chunks(FILTER_BATCH) {
+            self.check_deadline()?;
+            sel.clear();
+            program.select_into(chunk, |r| r.as_slice(), ctx, &mut sel)?;
+            out.extend(sel.iter().map(|&i| chunk[i as usize].clone()));
         }
+        Ok(())
     }
 
     fn scan_base(
         &self,
         entry: &TableEntry,
         plan: &AccessPlan,
-        bound: &Option<BoundExpr>,
+        program: &FilterProgram,
         ctx: &EvalContext<'_>,
     ) -> DbResult<Vec<Row>> {
+        // Filter a batch of fetched `(RowId, &Row)` pairs, cloning only
+        // selected rows.
+        let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
         match plan {
             AccessPlan::SeqScan => {
-                let mut out = Vec::new();
+                // Same accounting as `Table::scan` (every page once,
+                // sequentially, one tuple read per row), but filtering
+                // directly over the contiguous row slice in batches.
                 let stats = self.stats();
-                for (i, (_, row)) in entry.table.scan(stats).enumerate() {
-                    if i % 4096 == 0 {
-                        self.check_deadline()?;
-                    }
-                    if self.row_passes(bound, row, ctx)? {
-                        out.push(row.clone());
-                    }
-                }
+                stats.seq_pages(entry.table.page_count());
+                stats.tuples(entry.table.len() as u64);
+                let mut out = Vec::new();
+                self.filter_batched(entry.table.rows(), program, ctx, &mut out)?;
                 Ok(out)
             }
             AccessPlan::IndexOr { probes, bitmap } => {
@@ -375,14 +411,13 @@ impl<'a> Exec<'a> {
                     ids.sort_unstable();
                     ids.dedup();
                     self.check_deadline()?;
+                    let fetched = entry.table.fetch(&ids, stats);
                     let mut out = Vec::new();
-                    for (i, (_, row)) in entry.table.fetch(&ids, stats).into_iter().enumerate() {
-                        if i % 4096 == 0 {
-                            self.check_deadline()?;
-                        }
-                        if self.row_passes(bound, row, ctx)? {
-                            out.push(row.clone());
-                        }
+                    for batch in fetched.chunks(FILTER_BATCH) {
+                        self.check_deadline()?;
+                        sel.clear();
+                        program.select_into(batch, |(_, r)| r.as_slice(), ctx, &mut sel)?;
+                        out.extend(sel.iter().map(|&i| batch[i as usize].1.clone()));
                     }
                     Ok(out)
                 } else {
@@ -390,14 +425,26 @@ impl<'a> Exec<'a> {
                     // (duplicated pages are re-read), dedup afterwards.
                     let mut seen: HashSet<RowId> = HashSet::new();
                     let mut out = Vec::new();
+                    let mut batch: Vec<(RowId, &Row)> = Vec::with_capacity(FILTER_BATCH);
                     for p in probes {
                         self.check_deadline()?;
                         let ids = p.run(entry, stats);
-                        for (id, row) in entry.table.fetch(&ids, stats) {
-                            if seen.contains(&id) {
-                                continue;
+                        let mut fetched = entry.table.fetch(&ids, stats).into_iter();
+                        loop {
+                            batch.clear();
+                            batch.extend(
+                                fetched
+                                    .by_ref()
+                                    .filter(|(id, _)| !seen.contains(id))
+                                    .take(FILTER_BATCH),
+                            );
+                            if batch.is_empty() {
+                                break;
                             }
-                            if self.row_passes(bound, row, ctx)? {
+                            sel.clear();
+                            program.select_into(&batch, |(_, r)| r.as_slice(), ctx, &mut sel)?;
+                            for &i in &sel {
+                                let (id, row) = batch[i as usize];
                                 seen.insert(id);
                                 out.push(row.clone());
                             }
@@ -452,10 +499,10 @@ impl<'a> Exec<'a> {
 
         let inner_schema = rel.schema();
         let inner_layout = Layout::single(alias, inner_schema.clone());
-        let bound_local = match local {
+        let local_program = FilterProgram::new(match local {
             Some(p) => Some(bind(p, &inner_layout, None, &self.param_names())?),
             None => None,
-        };
+        });
         let ctx = self.eval_ctx();
 
         // Index nested-loop when the inner side is a base table with an
@@ -475,7 +522,7 @@ impl<'a> Exec<'a> {
                         continue;
                     }
                     for (_, irow) in entry.table.fetch(&ids, stats) {
-                        if !self.row_passes(&bound_local, irow, &ctx)? {
+                        if !local_program.matches(irow, &ctx)? {
                             continue;
                         }
                         let mut ok = true;
@@ -490,9 +537,7 @@ impl<'a> Exec<'a> {
                             }
                         }
                         if ok {
-                            let mut combined = orow.clone();
-                            combined.extend_from_slice(irow);
-                            out.push(combined);
+                            out.push(concat_rows(orow, irow));
                         }
                     }
                 }
@@ -505,12 +550,14 @@ impl<'a> Exec<'a> {
 
         if let Some((outer_slot, inner_col)) = keys.first() {
             // Hash join on the first condition; extra conditions re-checked.
+            // Build and probe borrow the materialized rows — no key clones,
+            // no intermediate row copies; only joined output rows allocate.
             let inner_col_idx = inner_schema
                 .column_index(inner_col)
                 .ok_or_else(|| DbError::UnknownColumn(inner_col.clone()))?;
-            let mut ht: HashMap<Value, Vec<&Row>> = HashMap::new();
+            let mut ht: HashMap<&Value, Vec<&Row>> = HashMap::new();
             for r in &inner_rows {
-                ht.entry(r[inner_col_idx].clone()).or_default().push(r);
+                ht.entry(&r[inner_col_idx]).or_default().push(r);
             }
             let extra_keys = &keys[1..];
             let mut out = Vec::new();
@@ -532,9 +579,7 @@ impl<'a> Exec<'a> {
                             }
                         }
                         if ok {
-                            let mut combined = orow.clone();
-                            combined.extend_from_slice(irow);
-                            out.push(combined);
+                            out.push(concat_rows(orow, irow));
                         }
                     }
                 }
@@ -546,9 +591,7 @@ impl<'a> Exec<'a> {
             for orow in &outer_rows {
                 self.check_deadline()?;
                 for irow in &inner_rows {
-                    let mut combined = orow.clone();
-                    combined.extend_from_slice(irow);
-                    out.push(combined);
+                    out.push(concat_rows(orow, irow));
                 }
             }
             Ok(out)

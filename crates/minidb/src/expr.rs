@@ -15,6 +15,7 @@ use crate::stats::StatsSink;
 use crate::table::Row;
 use crate::udf::{UdfContext, UdfRegistry};
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -382,11 +383,13 @@ impl Layout {
 /// injected into evaluation so `expr` does not depend on `exec`.
 pub trait QueryRunner {
     /// Execute `query` with the given correlation parameters (keys are
-    /// `alias.column` strings) and return the result rows.
+    /// `alias.column` strings) and return the result rows. Parameters are
+    /// taken by value: callers build the map fresh per invocation, so the
+    /// runner can keep it without another deep copy.
     fn run_subquery(
         &self,
         query: &SelectQuery,
-        params: &HashMap<String, Value>,
+        params: HashMap<String, Value>,
     ) -> DbResult<Vec<Row>>;
 }
 
@@ -595,19 +598,32 @@ pub fn bind(
 impl BoundExpr {
     /// Evaluate to a value.
     pub fn eval(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<Value> {
+        Ok(self.eval_cow(row, ctx)?.into_owned())
+    }
+
+    /// Evaluate without materializing: slots and literals borrow instead of
+    /// cloning, so the per-tuple filter loop allocates only for computed
+    /// results (booleans, UDF outputs, subquery values). This is the hot
+    /// path of every guarded-expression evaluation.
+    pub fn eval_cow<'v>(
+        &'v self,
+        row: &'v [Value],
+        ctx: &EvalContext<'_>,
+    ) -> DbResult<Cow<'v, Value>> {
         Ok(match self {
-            BoundExpr::Literal(v) => v.clone(),
-            BoundExpr::Slot(i) => row[*i].clone(),
-            BoundExpr::Param(name) => ctx
-                .params
-                .get(name)
-                .cloned()
-                .ok_or_else(|| DbError::UnknownColumn(format!("parameter {name}")))?,
+            BoundExpr::Literal(v) => Cow::Borrowed(v),
+            BoundExpr::Slot(i) => Cow::Borrowed(&row[*i]),
+            BoundExpr::Param(name) => Cow::Owned(
+                ctx.params
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| DbError::UnknownColumn(format!("parameter {name}")))?,
+            ),
             BoundExpr::Cmp { op, lhs, rhs } => {
-                let a = lhs.eval(row, ctx)?;
-                let b = rhs.eval(row, ctx)?;
+                let a = lhs.eval_cow(row, ctx)?;
+                let b = rhs.eval_cow(row, ctx)?;
                 ctx.stats.predicates(1);
-                Value::Bool(op.apply(&a, &b))
+                Cow::Owned(Value::Bool(op.apply(&a, &b)))
             }
             BoundExpr::Between {
                 expr,
@@ -615,64 +631,64 @@ impl BoundExpr {
                 high,
                 negated,
             } => {
-                let v = expr.eval(row, ctx)?;
-                let lo = low.eval(row, ctx)?;
-                let hi = high.eval(row, ctx)?;
+                let v = expr.eval_cow(row, ctx)?;
+                let lo = low.eval_cow(row, ctx)?;
+                let hi = high.eval_cow(row, ctx)?;
                 ctx.stats.predicates(1);
                 if v.is_null() || lo.is_null() || hi.is_null() {
-                    return Ok(Value::Bool(false));
+                    return Ok(Cow::Owned(Value::Bool(false)));
                 }
-                let inside = v >= lo && v <= hi;
-                Value::Bool(inside != *negated)
+                let inside = *v >= *lo && *v <= *hi;
+                Cow::Owned(Value::Bool(inside != *negated))
             }
             BoundExpr::InList {
                 expr,
                 list,
                 negated,
             } => {
-                let v = expr.eval(row, ctx)?;
+                let v = expr.eval_cow(row, ctx)?;
                 ctx.stats.predicates(1);
                 if v.is_null() {
-                    return Ok(Value::Bool(false));
+                    return Ok(Cow::Owned(Value::Bool(false)));
                 }
                 let mut found = false;
                 for e in list {
-                    if e.eval(row, ctx)? == v {
+                    if *e.eval_cow(row, ctx)? == *v {
                         found = true;
                         break;
                     }
                 }
-                Value::Bool(found != *negated)
+                Cow::Owned(Value::Bool(found != *negated))
             }
             BoundExpr::IsNull { expr, negated } => {
-                let v = expr.eval(row, ctx)?;
+                let v = expr.eval_cow(row, ctx)?;
                 ctx.stats.predicates(1);
-                Value::Bool(v.is_null() != *negated)
+                Cow::Owned(Value::Bool(v.is_null() != *negated))
             }
             BoundExpr::And(parts) => {
                 for p in parts {
                     if !p.eval_bool(row, ctx)? {
-                        return Ok(Value::Bool(false));
+                        return Ok(Cow::Owned(Value::Bool(false)));
                     }
                 }
-                Value::Bool(true)
+                Cow::Owned(Value::Bool(true))
             }
             BoundExpr::Or(parts) => {
                 for p in parts {
                     if p.eval_bool(row, ctx)? {
-                        return Ok(Value::Bool(true));
+                        return Ok(Cow::Owned(Value::Bool(true)));
                     }
                 }
-                Value::Bool(false)
+                Cow::Owned(Value::Bool(false))
             }
-            BoundExpr::Not(e) => Value::Bool(!e.eval_bool(row, ctx)?),
+            BoundExpr::Not(e) => Cow::Owned(Value::Bool(!e.eval_bool(row, ctx)?)),
             BoundExpr::Udf { name, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(a.eval(row, ctx)?);
                 }
                 let udf_ctx = UdfContext { stats: ctx.stats };
-                ctx.udfs.invoke(name, &vals, &udf_ctx)?
+                Cow::Owned(ctx.udfs.invoke(name, &vals, &udf_ctx)?)
             }
             BoundExpr::ScalarSubquery { query, outer_refs } => {
                 let runner = ctx.runner.ok_or_else(|| {
@@ -682,25 +698,183 @@ impl BoundExpr {
                 for (name, slot) in outer_refs {
                     params.insert(name.clone(), row[*slot].clone());
                 }
-                let rows = runner.run_subquery(query, &params)?;
-                match rows.into_iter().next() {
+                let rows = runner.run_subquery(query, params)?;
+                Cow::Owned(match rows.into_iter().next() {
                     Some(r) => r.into_iter().next().unwrap_or(Value::Null),
                     None => Value::Null,
-                }
+                })
             }
         })
     }
 
+    /// Operand as a direct reference when it is a slot or literal — the
+    /// shape of every policy object-condition operand.
+    #[inline]
+    fn fast_ref<'r>(&'r self, row: &'r [Value]) -> Option<&'r Value> {
+        match self {
+            BoundExpr::Literal(v) => Some(v),
+            BoundExpr::Slot(i) => Some(&row[*i]),
+            _ => None,
+        }
+    }
+
     /// Evaluate as a boolean; non-boolean, non-null results are a type
     /// error, NULL is false.
+    ///
+    /// The boolean combinators and slot/literal comparison shapes — the
+    /// entirety of a compiled guard expression — are evaluated directly,
+    /// without constructing intermediate values at all.
     pub fn eval_bool(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<bool> {
-        match self.eval(row, ctx)? {
-            Value::Bool(b) => Ok(b),
+        match self {
+            BoundExpr::And(parts) => {
+                for p in parts {
+                    if !p.eval_bool(row, ctx)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            BoundExpr::Or(parts) => {
+                for p in parts {
+                    if p.eval_bool(row, ctx)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            BoundExpr::Not(e) => Ok(!e.eval_bool(row, ctx)?),
+            BoundExpr::Cmp { op, lhs, rhs } => {
+                if let (Some(a), Some(b)) = (lhs.fast_ref(row), rhs.fast_ref(row)) {
+                    ctx.stats.predicates(1);
+                    return Ok(op.apply(a, b));
+                }
+                self.eval_bool_generic(row, ctx)
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                if let (Some(v), Some(lo), Some(hi)) = (
+                    expr.fast_ref(row),
+                    low.fast_ref(row),
+                    high.fast_ref(row),
+                ) {
+                    ctx.stats.predicates(1);
+                    if v.is_null() || lo.is_null() || hi.is_null() {
+                        return Ok(false);
+                    }
+                    let inside = v >= lo && v <= hi;
+                    return Ok(inside != *negated);
+                }
+                self.eval_bool_generic(row, ctx)
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                if let Some(v) = expr.fast_ref(row) {
+                    if list.iter().all(|e| matches!(e, BoundExpr::Literal(_))) {
+                        ctx.stats.predicates(1);
+                        if v.is_null() {
+                            return Ok(false);
+                        }
+                        let found = list
+                            .iter()
+                            .any(|e| matches!(e, BoundExpr::Literal(x) if x == v));
+                        return Ok(found != *negated);
+                    }
+                }
+                self.eval_bool_generic(row, ctx)
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                if let Some(v) = expr.fast_ref(row) {
+                    ctx.stats.predicates(1);
+                    return Ok(v.is_null() != *negated);
+                }
+                self.eval_bool_generic(row, ctx)
+            }
+            _ => self.eval_bool_generic(row, ctx),
+        }
+    }
+
+    fn eval_bool_generic(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<bool> {
+        match &*self.eval_cow(row, ctx)? {
+            Value::Bool(b) => Ok(*b),
             Value::Null => Ok(false),
             other => Err(DbError::TypeError(format!(
                 "expected boolean predicate, got {other}"
             ))),
         }
+    }
+}
+
+/// A pre-bound predicate program for batched filtering: the executor binds
+/// a predicate once, then drives whole batches of rows through it, keeping
+/// a selection vector of survivors so only output rows are ever cloned.
+/// Constant predicates (the guarded rewrite's default-deny `FALSE`, or an
+/// absent WHERE clause) are recognized up front and never touch a row.
+#[derive(Debug)]
+pub enum FilterProgram {
+    /// No predicate, or a constant-true one: every row survives.
+    KeepAll,
+    /// Constant-false predicate: no row survives (and no input need be
+    /// read at all — callers should check [`FilterProgram::drops_all`]).
+    DropAll,
+    /// Evaluate the bound expression per row.
+    Eval(BoundExpr),
+}
+
+impl FilterProgram {
+    /// Compile from an optional bound predicate.
+    pub fn new(bound: Option<BoundExpr>) -> Self {
+        match bound {
+            None => FilterProgram::KeepAll,
+            Some(BoundExpr::Literal(Value::Bool(false))) => FilterProgram::DropAll,
+            Some(BoundExpr::Literal(Value::Bool(true))) => FilterProgram::KeepAll,
+            Some(b) => FilterProgram::Eval(b),
+        }
+    }
+
+    /// True iff the program is constant-false.
+    pub fn drops_all(&self) -> bool {
+        matches!(self, FilterProgram::DropAll)
+    }
+
+    /// Evaluate one row.
+    pub fn matches(&self, row: &[Value], ctx: &EvalContext<'_>) -> DbResult<bool> {
+        match self {
+            FilterProgram::KeepAll => Ok(true),
+            FilterProgram::DropAll => Ok(false),
+            FilterProgram::Eval(b) => b.eval_bool(row, ctx),
+        }
+    }
+
+    /// Evaluate a batch, appending the indices of surviving items to the
+    /// selection vector `sel`. `row_of` projects each batch item to its
+    /// row (batches carry `&Row` or `(RowId, &Row)` depending on the
+    /// access path).
+    pub fn select_into<T>(
+        &self,
+        batch: &[T],
+        row_of: impl Fn(&T) -> &[Value],
+        ctx: &EvalContext<'_>,
+        sel: &mut Vec<u32>,
+    ) -> DbResult<()> {
+        match self {
+            FilterProgram::KeepAll => sel.extend(0..batch.len() as u32),
+            FilterProgram::DropAll => {}
+            FilterProgram::Eval(b) => {
+                for (i, item) in batch.iter().enumerate() {
+                    if b.eval_bool(row_of(item), ctx)? {
+                        sel.push(i as u32);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -6,10 +6,12 @@
 
 use sieve::core::baselines::Baseline;
 use sieve::core::middleware::Enforcement;
-use sieve::core::policy::{Policy, QueryMetadata};
+use sieve::core::policy::{
+    CondPredicate, ObjectCondition, Policy, QuerierSpec, QueryMetadata,
+};
 use sieve::core::semantics::visible_rows;
 use sieve::core::{Sieve, SieveOptions};
-use sieve::minidb::{DbProfile, Row, SelectQuery};
+use sieve::minidb::{DbProfile, Row, SelectQuery, Value};
 use sieve::workload::policy_gen::{generate_policies, PolicyGenConfig};
 use sieve::workload::tippers::{generate as generate_tippers, TippersConfig};
 use sieve::workload::{UserProfile, WIFI_TABLE};
@@ -43,9 +45,9 @@ fn all_mechanisms_equal_oracle_on_seeded_campus() {
         assert!(!queriers.is_empty(), "dataset must contain queriers");
 
         let q = SelectQuery::star_from(WIFI_TABLE);
-        for querier in queriers {
+        for querier in &queriers {
             for purpose in ["Analytics", "Safety"] {
-                let qm = QueryMetadata::new(querier, purpose);
+                let qm = QueryMetadata::new(*querier, purpose);
                 let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
                     sieve.policies(),
                     WIFI_TABLE,
@@ -70,6 +72,59 @@ fn all_mechanisms_equal_oracle_on_seeded_campus() {
                     );
                 }
             }
+        }
+
+        // Warm-cache invalidation path: the guard cache is now hot for
+        // every (querier, purpose). Insert a fresh policy per querier and
+        // re-check SIEVE against the oracle — the cached entry must be
+        // invalidated and the regenerated answer must match a cold run.
+        for (i, querier) in queriers.iter().enumerate() {
+            sieve
+                .add_policy(Policy::new(
+                    (1_000 + i) as i64, // an owner with no rows: exercises
+                    WIFI_TABLE,         // invalidation without changing the
+                    QuerierSpec::User(*querier), // visible set
+                    "Analytics",
+                    vec![],
+                ))
+                .unwrap();
+            sieve
+                .add_policy(Policy::new(
+                    *querier, // the querier's own device rows: widens the set
+                    WIFI_TABLE,
+                    QuerierSpec::User(*querier),
+                    "Analytics",
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Ne(Value::Int(-1)),
+                    )],
+                ))
+                .unwrap();
+            let qm = QueryMetadata::new(*querier, "Analytics");
+            let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+                sieve.policies(),
+                WIFI_TABLE,
+                &qm,
+                sieve.groups(),
+            );
+            let mut expect: Vec<Row> =
+                visible_rows(sieve.db(), WIFI_TABLE, &relevant).unwrap();
+            expect.sort();
+            let mut warm = sieve.execute(&q, &qm).expect("warm post-insert").rows;
+            warm.sort();
+            assert_eq!(
+                warm, expect,
+                "warm cache diverged from oracle after add_policy for querier \
+                 {querier} on {profile:?}"
+            );
+            sieve.invalidate_all();
+            let mut cold = sieve.execute(&q, &qm).expect("cold post-insert").rows;
+            cold.sort();
+            assert_eq!(
+                cold, warm,
+                "cold and warm runs diverged after add_policy for querier \
+                 {querier} on {profile:?}"
+            );
         }
     }
 }

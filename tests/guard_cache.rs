@@ -1,0 +1,235 @@
+//! Guard-cache correctness: warm queries must be *exactly* as correct as
+//! cold ones, across invalidation, regeneration policies, ∆ partition
+//! reclamation, and option flips.
+//!
+//! The cache under test (sieve_core::cache::GuardCache) stores both the
+//! generated guarded expression and its compiled rewrite fragment per
+//! (querier, purpose, relation); `add_policy` invalidates precisely the
+//! affected keys, and stale entries regenerate lazily per the configured
+//! RegenerationPolicy.
+
+use sieve::core::dynamic::RegenerationPolicy;
+use sieve::core::policy::{
+    CondPredicate, ObjectCondition, Policy, QuerierSpec, QueryMetadata,
+};
+use sieve::core::rewrite::DeltaMode;
+use sieve::core::semantics::visible_rows;
+use sieve::core::{Sieve, SieveOptions};
+use sieve::minidb::value::DataType;
+use sieve::minidb::{Database, DbProfile, Row, SelectQuery, TableSchema, Value};
+
+const REL: &str = "wifi_dataset";
+
+fn policy(owner: i64, querier: i64, purpose: &str, ap: i64) -> Policy {
+    Policy::new(
+        owner,
+        REL,
+        QuerierSpec::User(querier),
+        purpose,
+        vec![ObjectCondition::new(
+            "wifi_ap",
+            CondPredicate::Eq(Value::Int(ap)),
+        )],
+    )
+}
+
+fn loaded_sieve() -> Sieve {
+    let mut db = Database::new(DbProfile::MySqlLike);
+    db.create_table(TableSchema::of(
+        REL,
+        &[
+            ("id", DataType::Int),
+            ("owner", DataType::Int),
+            ("wifi_ap", DataType::Int),
+            ("ts_time", DataType::Time),
+        ],
+    ))
+    .unwrap();
+    for i in 0..4000i64 {
+        db.insert(
+            REL,
+            vec![
+                Value::Int(i),
+                Value::Int(i % 80),
+                Value::Int(1000 + i % 10),
+                Value::Time(((i * 53) % 86400) as u32),
+            ],
+        )
+        .unwrap();
+    }
+    for col in ["owner", "wifi_ap", "ts_time"] {
+        db.create_index(REL, col).unwrap();
+    }
+    db.analyze(REL).unwrap();
+    let mut sieve = Sieve::new(db, SieveOptions::default()).unwrap();
+    for owner in 0..20i64 {
+        sieve.add_policy(policy(owner, 500, "Analytics", 1001)).unwrap();
+    }
+    // A second querier and a second purpose, to check invalidation scope.
+    for owner in 0..10i64 {
+        sieve.add_policy(policy(owner, 501, "Analytics", 1002)).unwrap();
+        sieve.add_policy(policy(owner, 500, "Safety", 1003)).unwrap();
+    }
+    sieve
+}
+
+fn oracle(sieve: &Sieve, qm: &QueryMetadata) -> Vec<Row> {
+    let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+        sieve.policies(),
+        REL,
+        qm,
+        sieve.groups(),
+    );
+    let mut rows = visible_rows(sieve.db(), REL, &relevant).unwrap();
+    rows.sort();
+    rows
+}
+
+fn run_sorted(sieve: &mut Sieve, qm: &QueryMetadata) -> Vec<Row> {
+    let q = SelectQuery::star_from(REL);
+    let mut rows = sieve.execute(&q, qm).unwrap().rows;
+    rows.sort();
+    rows
+}
+
+#[test]
+fn warm_queries_hit_both_cache_levels() {
+    let mut sieve = loaded_sieve();
+    let qm = QueryMetadata::new(500, "Analytics");
+    run_sorted(&mut sieve, &qm);
+    let s0 = sieve.cache_stats();
+    assert_eq!(s0.misses, 1);
+    assert_eq!(s0.fragment_builds, 1);
+    for _ in 0..5 {
+        run_sorted(&mut sieve, &qm);
+    }
+    let s1 = sieve.cache_stats();
+    assert_eq!(s1.misses, 1, "warm queries must not regenerate");
+    assert_eq!(s1.fragment_builds, 1, "warm queries must not recompile");
+    assert_eq!(s1.hits, s0.hits + 5);
+    assert_eq!(s1.fragment_hits, s0.fragment_hits + 5);
+    assert_eq!(sieve.generations, 1);
+}
+
+#[test]
+fn add_policy_invalidates_only_affected_key_and_matches_cold_and_oracle() {
+    let mut sieve = loaded_sieve();
+    let qm_a = QueryMetadata::new(500, "Analytics");
+    let qm_b = QueryMetadata::new(501, "Analytics");
+    let qm_c = QueryMetadata::new(500, "Safety");
+    run_sorted(&mut sieve, &qm_a);
+    run_sorted(&mut sieve, &qm_b);
+    run_sorted(&mut sieve, &qm_c);
+    assert_eq!(sieve.cache_stats().misses, 3);
+
+    // New policy for querier 500 / Analytics only (owner 71 ⇒ i%10 == 1 ⇒
+    // rows at AP 1001 exist).
+    sieve.add_policy(policy(71, 500, "Analytics", 1001)).unwrap();
+
+    // Unaffected keys stay cached.
+    let misses_before = sieve.cache_stats().misses;
+    run_sorted(&mut sieve, &qm_b);
+    run_sorted(&mut sieve, &qm_c);
+    assert_eq!(
+        sieve.cache_stats().misses,
+        misses_before,
+        "other queriers/purposes must keep their cache entries"
+    );
+
+    // The affected key regenerates and matches both a cold-cache run and
+    // the visible_rows oracle.
+    let warm_after_invalidation = run_sorted(&mut sieve, &qm_a);
+    assert_eq!(sieve.cache_stats().misses, misses_before + 1);
+    let expect = oracle(&sieve, &qm_a);
+    assert_eq!(warm_after_invalidation, expect);
+    assert!(warm_after_invalidation
+        .iter()
+        .any(|r| r[1] == Value::Int(71)));
+
+    sieve.invalidate_all();
+    let cold = run_sorted(&mut sieve, &qm_a);
+    assert_eq!(cold, warm_after_invalidation, "cold == warm after regen");
+}
+
+#[test]
+fn manual_regeneration_serves_pending_from_cache_and_matches_oracle() {
+    let mut sieve = loaded_sieve();
+    sieve.options_mut().regeneration = RegenerationPolicy::Manual;
+    let qm = QueryMetadata::new(500, "Analytics");
+    let n0 = run_sorted(&mut sieve, &qm).len();
+    let gens = sieve.generations;
+
+    sieve.add_policy(policy(61, 500, "Analytics", 1001)).unwrap();
+    // No regeneration under Manual, but the pending policy is enforced via
+    // a rebuilt effective expression + fragment.
+    let rows = run_sorted(&mut sieve, &qm);
+    assert_eq!(sieve.generations, gens);
+    assert!(rows.len() > n0);
+    assert_eq!(rows, oracle(&sieve, &qm));
+
+    // The pending-augmented fragment is itself cached across repeats.
+    let builds = sieve.cache_stats().fragment_builds;
+    run_sorted(&mut sieve, &qm);
+    run_sorted(&mut sieve, &qm);
+    assert_eq!(sieve.cache_stats().fragment_builds, builds);
+}
+
+#[test]
+fn delta_partitions_do_not_leak_across_repeat_queries() {
+    let mut sieve = loaded_sieve();
+    // Force every partition through ∆ so fragments register partitions.
+    sieve.options_mut().rewrite.delta_mode = DeltaMode::Always;
+    let qm = QueryMetadata::new(500, "Analytics");
+    let baseline_rows = run_sorted(&mut sieve, &qm);
+    assert_eq!(baseline_rows, oracle(&sieve, &qm));
+    let after_first = sieve.delta_len();
+    for _ in 0..10 {
+        run_sorted(&mut sieve, &qm);
+    }
+    assert_eq!(
+        sieve.delta_len(),
+        after_first,
+        "repeat queries must reuse ∆ registrations, not accumulate them"
+    );
+    // Invalidation regenerates the fragment but frees the old partitions.
+    sieve.add_policy(policy(62, 500, "Analytics", 1001)).unwrap();
+    run_sorted(&mut sieve, &qm);
+    assert_eq!(
+        sieve.delta_len(),
+        after_first,
+        "regeneration must free superseded ∆ partitions"
+    );
+    // Full invalidation drops everything.
+    sieve.invalidate_all();
+    assert_eq!(sieve.delta_len(), 0);
+}
+
+#[test]
+fn delta_mode_flip_recompiles_fragment_and_stays_correct() {
+    let mut sieve = loaded_sieve();
+    let qm = QueryMetadata::new(500, "Analytics");
+    let inline_rows = run_sorted(&mut sieve, &qm);
+    let builds = sieve.cache_stats().fragment_builds;
+    sieve.options_mut().rewrite.delta_mode = DeltaMode::Always;
+    let delta_rows = run_sorted(&mut sieve, &qm);
+    assert_eq!(
+        sieve.cache_stats().fragment_builds,
+        builds + 1,
+        "mode change must recompile the fragment"
+    );
+    assert_eq!(inline_rows, delta_rows);
+    assert_eq!(delta_rows, oracle(&sieve, &qm));
+    assert_eq!(sieve.generations, 1, "mode change must not regenerate");
+}
+
+#[test]
+fn repeated_sql_text_reuses_parsed_ast() {
+    let mut sieve = loaded_sieve();
+    let qm = QueryMetadata::new(500, "Analytics");
+    let sql = "SELECT COUNT(*) AS n FROM wifi_dataset WHERE wifi_ap = 1001";
+    let a = sieve.execute_sql(sql, &qm).unwrap();
+    let b = sieve.execute_sql(sql, &qm).unwrap();
+    assert_eq!(a, b);
+    let n = a.rows[0][0].as_int().unwrap();
+    assert_eq!(n, oracle(&sieve, &qm).len() as i64);
+}
