@@ -21,18 +21,44 @@ use std::sync::Arc;
 pub type GuardCacheKey = (UserId, String, String);
 
 /// Observability counters (monotonic over the cache's lifetime).
+///
+/// The counters are kept consistent with a ground-truth trace (asserted in
+/// `tests/guard_cache.rs`): every expression-level lookup is exactly one
+/// of `hits`, `misses` (no entry existed — cold, or previously evicted),
+/// or `regenerations` (an outdated entry was replaced in place). Entries
+/// dropped by the cap purge are counted in `evictions`, so generated-but-
+/// no-longer-cached work is visible instead of silently skewing the
+/// hit/miss ratio.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GuardCacheStats {
     /// Lookups that found a fresh guarded expression.
     pub hits: u64,
-    /// Lookups that required (re)generation.
+    /// Lookups that generated an expression because no entry existed.
     pub misses: u64,
+    /// Lookups that regenerated an existing outdated entry.
+    pub regenerations: u64,
     /// Entries marked outdated by policy insertions.
     pub invalidations: u64,
+    /// Entries dropped by the cap purge (their next lookup is a miss even
+    /// though they were generated before).
+    pub evictions: u64,
     /// Rewrite fragments compiled (the work warm queries skip).
     pub fragment_builds: u64,
     /// Lookups served by an already-compiled fragment.
     pub fragment_hits: u64,
+}
+
+impl GuardCacheStats {
+    /// Total guarded-expression generations (`misses + regenerations`) —
+    /// must equal the middleware's `generations` counter.
+    pub fn generations(&self) -> u64 {
+        self.misses + self.regenerations
+    }
+
+    /// Total expression-level lookups (`hits + misses + regenerations`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.regenerations
+    }
 }
 
 /// A compiled rewrite fragment plus the state it was built against, so
@@ -135,25 +161,69 @@ impl GuardCache {
         self.entries.get_mut(key)
     }
 
-    /// Insert (replacing) an entry for a freshly generated expression and
-    /// count the miss. Returns the ∆ keys of displaced fragments — the
-    /// replaced entry's, plus every entry's when the insert tripped the
-    /// [`GUARD_CACHE_CAP`] bound — so the caller can free them.
+    /// Insert (replacing) an entry for a freshly generated expression,
+    /// counting it as a miss (no prior entry) or a regeneration (an
+    /// outdated entry replaced). Returns the ∆ keys of displaced
+    /// fragments — the replaced entry's, plus every entry's when the
+    /// insert tripped the [`GUARD_CACHE_CAP`] bound — so the caller can
+    /// free them.
     pub fn insert_generated(
         &mut self,
         key: GuardCacheKey,
         base: Arc<GuardedExpression>,
     ) -> Vec<crate::delta::PartitionKey> {
-        self.stats.misses += 1;
-        let mut freed = if self.entries.len() >= GUARD_CACHE_CAP && !self.entries.contains_key(&key)
-        {
+        self.insert_generated_bulk(vec![(key, base)])
+    }
+
+    /// Bulk variant of [`GuardCache::insert_generated`] for batched
+    /// multi-querier warm-population: counts each entry exactly once
+    /// (miss or regeneration, decided against the pre-insert state) and
+    /// performs a **single** cap check for the whole batch instead of one
+    /// per key. When the batch would not fit, everything is purged once
+    /// up front (counted in `evictions`, excluding entries the batch
+    /// replaces anyway) and the batch then inserted whole — a batch is
+    /// populated for immediate use and must never purge itself midway. A
+    /// batch larger than [`GUARD_CACHE_CAP`] therefore leaves the cache
+    /// transiently over the bound (by at most the batch size); the next
+    /// capping insert restores it through the standard full purge.
+    pub fn insert_generated_bulk(
+        &mut self,
+        items: Vec<(GuardCacheKey, Arc<GuardedExpression>)>,
+    ) -> Vec<crate::delta::PartitionKey> {
+        // Dedup repeated keys (last write wins, as serial inserts would)
+        // so each key is counted once and the cap arithmetic stays sound.
+        let mut index: HashMap<GuardCacheKey, usize> = HashMap::new();
+        let mut deduped: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
+        for (key, base) in items {
+            match index.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    deduped[*e.get()].1 = base;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(deduped.len());
+                    deduped.push((key, base));
+                }
+            }
+        }
+        let items = deduped;
+        let replaced = items
+            .iter()
+            .filter(|(k, _)| self.entries.contains_key(k))
+            .count();
+        let new_keys = items.len() - replaced;
+        self.stats.misses += new_keys as u64;
+        self.stats.regenerations += replaced as u64;
+        let mut freed = if self.entries.len() + new_keys > GUARD_CACHE_CAP {
+            self.stats.evictions += (self.entries.len() - replaced) as u64;
             self.clear()
         } else {
             Vec::new()
         };
-        let old = self.entries.insert(key, CachedGuard::new(base));
-        if let Some(f) = old.and_then(|e| e.fragment) {
-            freed.extend_from_slice(&f.fragment.delta_keys);
+        for (key, base) in items {
+            let old = self.entries.insert(key, CachedGuard::new(base));
+            if let Some(f) = old.and_then(|e| e.fragment) {
+                freed.extend_from_slice(&f.fragment.delta_keys);
+            }
         }
         freed
     }
@@ -275,6 +345,70 @@ mod tests {
         let freed = c.insert_generated(key(-1, "r"), ge("r"));
         assert_eq!(freed, vec![77]);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bulk_insert_counts_each_entry_once_and_caps_once() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"));
+        // Bulk over one existing + two new keys: one cap decision, per-key
+        // miss/regeneration accounting against the pre-insert state.
+        let freed = c.insert_generated_bulk(vec![
+            (key(1, "r"), ge("r")),
+            (key(2, "r"), ge("r")),
+            (key(3, "r"), ge("r")),
+        ]);
+        assert!(freed.is_empty());
+        let s = c.stats();
+        assert_eq!(s.misses, 3, "1 cold insert + 2 new bulk keys");
+        assert_eq!(s.regenerations, 1, "key 1 replaced in place");
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.generations(), 4);
+        assert_eq!(c.len(), 3);
+        // A batch that cannot fit purges the survivors exactly once, up
+        // front, then inserts whole.
+        let batch: Vec<_> = (100..100 + GUARD_CACHE_CAP as i64)
+            .map(|i| (key(i, "r"), ge("r")))
+            .collect();
+        let n = batch.len();
+        c.insert_generated_bulk(batch);
+        let s = c.stats();
+        assert_eq!(s.evictions, 3, "pre-existing entries purged once");
+        assert_eq!(s.misses, 3 + n as u64);
+        assert_eq!(c.len(), n);
+    }
+
+    #[test]
+    fn bulk_insert_dedups_repeated_keys() {
+        let mut c = GuardCache::new();
+        // The same key three times plus one distinct: two entries, two
+        // misses, no phantom counts — and no cap-arithmetic underflow when
+        // duplicates outnumber live entries.
+        let freed = c.insert_generated_bulk(vec![
+            (key(1, "r"), ge("r")),
+            (key(1, "r"), ge("r")),
+            (key(1, "r"), ge("r")),
+            (key(2, "r"), ge("r")),
+        ]);
+        assert!(freed.is_empty());
+        assert_eq!(c.len(), 2);
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.regenerations, 0);
+        assert_eq!(s.generations(), 2);
+    }
+
+    #[test]
+    fn regeneration_of_existing_key_is_not_a_miss() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"));
+        c.invalidate_where(9, |_| true);
+        c.insert_generated(key(1, "r"), ge("r"));
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.regenerations, 1);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.generations(), 2);
     }
 
     #[test]

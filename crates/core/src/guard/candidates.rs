@@ -74,26 +74,35 @@ pub fn generate_candidates(
     cost: &CostModel,
 ) -> Vec<CandidateGuard> {
     // Step 1: collect guardable conditions, collapsing identical ones.
+    // Collapse probes a map keyed by the condition's debug rendering —
+    // `Value` holds `f64` so conditions are not hashable directly, and the
+    // derived rendering is injective for the guardable (constant) shapes —
+    // keeping this linear in the number of conditions where an equality
+    // scan over the distinct list goes quadratic on big policy unions.
     let mut exact: Vec<CandidateGuard> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
     for p in policies {
         for oc in p.object_conditions() {
             if !is_guardable(&oc, entry) {
                 continue;
             }
-            if let Some(existing) = exact
-                .iter_mut()
-                .find(|c| c.condition == oc)
-            {
-                existing.policies.insert(p.id);
-            } else {
-                let est = estimate_condition_rows(&oc, entry);
-                let mut set = BTreeSet::new();
-                set.insert(p.id);
-                exact.push(CandidateGuard {
-                    condition: oc,
-                    policies: set,
-                    est_rows: est,
-                });
+            let key = format!("{}\u{1}{:?}", oc.attr, oc.pred);
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    exact[*e.get()].policies.insert(p.id);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let est = estimate_condition_rows(&oc, entry);
+                    let mut set = BTreeSet::new();
+                    set.insert(p.id);
+                    e.insert(exact.len());
+                    exact.push(CandidateGuard {
+                        condition: oc,
+                        policies: set,
+                        est_rows: est,
+                    });
+                }
             }
         }
     }
@@ -121,6 +130,89 @@ pub fn generate_candidates(
         rest.extend(merged);
     }
     rest
+}
+
+/// The querier-independent half of candidate generation, built **once**
+/// per `(purpose, relation)` batch group over the *union* of the group's
+/// policies: guardable-condition collection, identical-condition collapse,
+/// histogram row estimates, and the Theorem 1 range-merge sweep all happen
+/// here and are shared by every querier in the group. The per-querier
+/// phase is only [`SharedCandidates::restrict`] plus set cover.
+#[derive(Debug, Clone)]
+pub struct SharedCandidates {
+    cands: Vec<CandidateGuard>,
+    /// Inverted index: policy id → indices of the candidates covering it,
+    /// so restriction costs O(|subset|), not O(|candidates|).
+    by_policy: std::collections::HashMap<PolicyId, Vec<u32>>,
+}
+
+/// Build the shared candidate set for a policy union (see
+/// [`SharedCandidates`]).
+pub fn generate_shared_candidates(
+    policies: &[&Policy],
+    entry: &TableEntry,
+    cost: &CostModel,
+) -> SharedCandidates {
+    let cands = generate_candidates(policies, entry, cost);
+    let mut by_policy: std::collections::HashMap<PolicyId, Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, c) in cands.iter().enumerate() {
+        for pid in &c.policies {
+            by_policy.entry(*pid).or_default().push(i as u32);
+        }
+    }
+    SharedCandidates { cands, by_policy }
+}
+
+impl SharedCandidates {
+    /// Number of shared candidates.
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// True iff the union produced no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    /// Restrict the shared set to one querier's policy subset: each
+    /// retained candidate keeps exactly its policies within `subset`;
+    /// candidates covering none are dropped. Row estimates are reused —
+    /// `ρ(oc_g)` does not depend on which policies a candidate covers. A
+    /// range candidate merged against the union may be wider than a
+    /// per-querier merge would have produced, but `oc_j ⟹ oc_g` still
+    /// holds for every retained policy (merging only widens ranges), so
+    /// enforcement semantics are unchanged; only the cost estimate is
+    /// (slightly) more conservative.
+    ///
+    /// Cost is `O(Σ candidates-per-policy)` over the subset via the
+    /// inverted index — independent of the union's candidate count, which
+    /// is what keeps the per-querier phase cheap in large batches.
+    pub fn restrict(&self, subset: &BTreeSet<PolicyId>) -> Vec<CandidateGuard> {
+        // Iterating the subset ascending appends each candidate's policy
+        // ids in ascending order; the map is keyed by candidate index so
+        // output order (and thus set-cover tie-breaking) is deterministic.
+        let mut picked: std::collections::BTreeMap<u32, BTreeSet<PolicyId>> =
+            std::collections::BTreeMap::new();
+        for pid in subset {
+            if let Some(idxs) = self.by_policy.get(pid) {
+                for &i in idxs {
+                    picked.entry(i).or_default().insert(*pid);
+                }
+            }
+        }
+        picked
+            .into_iter()
+            .map(|(i, policies)| {
+                let c = &self.cands[i as usize];
+                CandidateGuard {
+                    condition: c.condition.clone(),
+                    policies,
+                    est_rows: c.est_rows,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Numeric position of a range's low bound (−∞ for unbounded).

@@ -13,8 +13,10 @@ use minidb::catalog::TableEntry;
 use minidb::expr::Expr;
 use std::collections::{BTreeSet, HashMap};
 
-pub use candidates::{generate_candidates, CandidateGuard};
-pub use selection::select_guards;
+pub use candidates::{
+    generate_candidates, generate_shared_candidates, CandidateGuard, SharedCandidates,
+};
+pub use selection::{owner_fallback_guards, select_guards};
 
 /// One guarded expression `G_i`.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,29 +130,7 @@ pub fn generate_guarded_expression(
 
 /// One guard per distinct owner, partitioning policies by owner.
 fn owner_only_guards(policies: &[&Policy], entry: &TableEntry) -> Vec<Guard> {
-    let mut by_owner: HashMap<UserId, Vec<PolicyId>> = HashMap::new();
-    for p in policies {
-        by_owner.entry(p.owner).or_default().push(p.id);
-    }
-    let mut owners: Vec<UserId> = by_owner.keys().copied().collect();
-    owners.sort_unstable();
-    owners
-        .into_iter()
-        .map(|owner| {
-            let mut ids = by_owner.remove(&owner).unwrap();
-            ids.sort_unstable();
-            let cond = ObjectCondition::new(
-                crate::policy::OWNER_ATTR,
-                crate::policy::CondPredicate::Eq(minidb::Value::Int(owner)),
-            );
-            let est_rows = candidates::estimate_condition_rows(&cond, entry);
-            Guard {
-                condition: cond,
-                policies: ids,
-                est_rows,
-            }
-        })
-        .collect()
+    owner_fallback_guards(policies.iter().map(|p| (p.id, p.owner)), entry)
 }
 
 #[cfg(test)]

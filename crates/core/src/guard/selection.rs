@@ -52,6 +52,37 @@ struct CandState {
     version: u64,
 }
 
+/// Per-owner fallback guards for `(policy id, owner)` pairs: one
+/// `owner = k` guard per distinct owner, policy ids ascending. This is the
+/// trivially correct cover used for policies no candidate guards (owner
+/// attribute unindexed), for the OwnerOnly ablation, and for folding
+/// pending policies into a cached expression between regenerations.
+pub fn owner_fallback_guards(
+    policies: impl IntoIterator<Item = (PolicyId, i64)>,
+    entry: &TableEntry,
+) -> Vec<Guard> {
+    let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
+    for (id, owner) in policies {
+        by_owner.entry(owner).or_default().push(id);
+    }
+    let mut owners: Vec<i64> = by_owner.keys().copied().collect();
+    owners.sort_unstable();
+    owners
+        .into_iter()
+        .map(|owner| {
+            let mut ids = by_owner.remove(&owner).unwrap();
+            ids.sort_unstable();
+            let cond = ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
+            let est_rows = estimate_condition_rows(&cond, entry);
+            Guard {
+                condition: cond,
+                policies: ids,
+                est_rows,
+            }
+        })
+        .collect()
+}
+
 /// Run Algorithm 1: pick guards until every policy is covered.
 ///
 /// Policies left uncovered by any candidate (possible only when the owner
@@ -144,26 +175,13 @@ pub fn select_guards(
     }
 
     // Fallback for uncovered policies (no guardable condition at all).
-    let uncovered: Vec<&&Policy> = policies.iter().filter(|p| !covered.contains(&p.id)).collect();
-    if !uncovered.is_empty() {
-        let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
-        for p in uncovered {
-            by_owner.entry(p.owner).or_default().push(p.id);
-        }
-        let mut owners: Vec<i64> = by_owner.keys().copied().collect();
-        owners.sort_unstable();
-        for owner in owners {
-            let mut ids = by_owner.remove(&owner).unwrap();
-            ids.sort_unstable();
-            let cond = ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
-            let est_rows = estimate_condition_rows(&cond, entry);
-            selected.push(Guard {
-                condition: cond,
-                policies: ids,
-                est_rows,
-            });
-        }
-    }
+    selected.extend(owner_fallback_guards(
+        policies
+            .iter()
+            .filter(|p| !covered.contains(&p.id))
+            .map(|p| (p.id, p.owner)),
+        entry,
+    ));
 
     selected
 }

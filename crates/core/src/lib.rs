@@ -21,11 +21,15 @@
 //! against. [`dynamic`] adds the Section 6 machinery for evolving policy
 //! sets, and [`store`] persists policies and guards as regular relations
 //! (`rP`, `rOC`, `rGE`, `rGG`, `rGP`). [`deny`] folds deny policies into
-//! the allow-only model the enforcement path assumes.
+//! the allow-only model the enforcement path assumes. [`batch`] amortizes
+//! guard generation across batches of concurrent queriers — shared
+//! candidate generation per `(purpose, relation)` group, per-querier set
+//! cover.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod cache;
 pub mod cost;
 pub mod delta;
@@ -39,6 +43,7 @@ pub mod rewrite;
 pub mod semantics;
 pub mod store;
 
+pub use batch::{BatchGroupReport, BatchPrepareReport};
 pub use cache::{GuardCache, GuardCacheStats};
 pub use cost::{AccessStrategy, CostModel, StrategyCosts};
 pub use filter::{policy_applies, relevant_policies, GroupDirectory};

@@ -11,29 +11,30 @@
 use crate::baselines::{
     rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
 };
-use crate::cache::{CachedFragment, GuardCache, GuardCacheKey, GuardCacheStats};
+use crate::batch::{BatchGroupReport, BatchPrepareReport};
+use crate::cache::{CachedFragment, CachedGuard, GuardCache, GuardCacheKey, GuardCacheStats};
 use crate::cost::CostModel;
 use crate::delta::{DeltaRegistry, PartitionKey};
 use crate::dynamic::{optimal_regeneration_interval, RegenerationPolicy};
 use crate::filter::{policy_applies, relevant_policies, GroupDirectory};
 use crate::guard::{
-    generate_guarded_expression, Guard, GuardSelectionStrategy, GuardedExpression,
+    generate_guarded_expression, owner_fallback_guards, GuardSelectionStrategy,
+    GuardedExpression,
 };
-use crate::policy::{
-    CondPredicate, ObjectCondition, Policy, PolicyId, QueryMetadata, OWNER_ATTR,
-};
+use crate::policy::{Policy, PolicyId, QueryMetadata};
 use crate::rewrite::{
-    compile_guard_fragment, rewrite_query, CompiledRelation, RewriteOptions, RewriteOutput,
+    classify_protected_refs, collect_protected, compile_guard_fragment, rewrite_query,
+    CompiledRelation, RewriteOptions, RewriteOutput,
 };
 use crate::store::{
     create_policy_tables, persist_guarded_expression, persist_policy, GuardTableIds,
     PolicyStore,
 };
-use minidb::error::DbResult;
+use minidb::error::{DbError, DbResult};
 use minidb::exec::ExecOptions;
-use minidb::plan::{SelectQuery, TableSource};
+use minidb::plan::SelectQuery;
 use minidb::stats::ExecStats;
-use minidb::{Database, QueryResult, Value};
+use minidb::{Database, QueryResult};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
@@ -252,6 +253,38 @@ impl Sieve {
         Ok((*self.cache.get(&key).expect("refreshed").effective).clone())
     }
 
+    /// True iff an outdated entry is due for regeneration under the
+    /// configured policy (Section 6's threshold for `OptimalRate`).
+    fn regeneration_due(&self, c: &CachedGuard) -> bool {
+        c.outdated
+            && match self.options.regeneration {
+                RegenerationPolicy::Immediate => true,
+                RegenerationPolicy::Manual => false,
+                RegenerationPolicy::OptimalRate {
+                    queries_per_insertion,
+                } => {
+                    let guards = c.base.guards.len().max(1) as f64;
+                    let rho_avg = c.base.total_guard_rows() / guards;
+                    let k = optimal_regeneration_interval(
+                        &self.cost,
+                        rho_avg,
+                        queries_per_insertion,
+                    );
+                    c.pending.len() as f64 >= k
+                }
+            }
+    }
+
+    /// True iff the key requires a fresh generation: no cache entry, or an
+    /// outdated one past its regeneration threshold. Shared by the
+    /// per-query refresh path and [`Sieve::prepare_batch`].
+    fn needs_generation(&self, key: &GuardCacheKey) -> bool {
+        match self.cache.get(key) {
+            None => true,
+            Some(c) => self.regeneration_due(c),
+        }
+    }
+
     /// Ensure the cache entry exists and is fresh per the regeneration
     /// policy, with its effective expression (base + pending branches)
     /// up to date. Returns the cache key. The warm path is a single cache
@@ -264,23 +297,7 @@ impl Sieve {
             match self.cache.get(&key) {
                 None => (true, None),
                 Some(c) => {
-                    let needs = c.outdated
-                        && match self.options.regeneration {
-                            RegenerationPolicy::Immediate => true,
-                            RegenerationPolicy::Manual => false,
-                            RegenerationPolicy::OptimalRate {
-                                queries_per_insertion,
-                            } => {
-                                let guards = c.base.guards.len().max(1) as f64;
-                                let rho_avg = c.base.total_guard_rows() / guards;
-                                let k = optimal_regeneration_interval(
-                                    &self.cost,
-                                    rho_avg,
-                                    queries_per_insertion,
-                                );
-                                c.pending.len() as f64 >= k
-                            }
-                        };
+                    let needs = self.regeneration_due(c);
                     let stale = (!needs && c.effective_pending_len != c.pending.len())
                         .then(|| c.pending.clone());
                     (needs, stale)
@@ -303,26 +320,12 @@ impl Sieve {
         if let Some(pending) = stale_pending {
             let mut expr = (*self.cache.get(&key).expect("present").base).clone();
             let entry = self.db.table(relation)?;
-            let mut by_owner: HashMap<i64, Vec<PolicyId>> = HashMap::new();
-            for pid in &pending {
-                if let Some(p) = self.store.get(*pid) {
-                    by_owner.entry(p.owner).or_default().push(*pid);
-                }
-            }
-            let mut owners: Vec<i64> = by_owner.keys().copied().collect();
-            owners.sort_unstable();
-            for owner in owners {
-                let cond =
-                    ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
-                let est_rows = crate::guard::candidates::estimate_condition_rows(&cond, entry);
-                let mut ids = by_owner.remove(&owner).unwrap();
-                ids.sort_unstable();
-                expr.guards.push(Guard {
-                    condition: cond,
-                    policies: ids,
-                    est_rows,
-                });
-            }
+            expr.guards.extend(owner_fallback_guards(
+                pending
+                    .iter()
+                    .filter_map(|pid| self.store.get(*pid).map(|p| (*pid, p.owner))),
+                entry,
+            ));
             let c = self.cache.get_mut(&key).expect("present");
             c.effective = Arc::new(expr);
             c.effective_pending_len = pending.len();
@@ -409,15 +412,18 @@ impl Sieve {
     /// output; useful for inspection and tests). Satisfied by the guard
     /// cache on repeat queries: both the guarded expression and its
     /// compiled rewrite fragment (including ∆ registrations) are reused.
+    ///
+    /// Protected relations are collected over the **whole query tree** —
+    /// derived tables, WITH bodies, and scalar subqueries included — with
+    /// names resolved against the query's WITH scope first (a CTE that
+    /// shadows a protected name is not a base-table read). Every collected
+    /// reference is guarded by [`rewrite_query`]; there is no nesting
+    /// depth at which enforcement is skipped.
     pub fn rewrite(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
         let mut compiled: HashMap<String, CompiledRelation> = HashMap::new();
-        for tref in &query.from {
-            if let TableSource::Named(rel) = &tref.source {
-                if self.protected.contains(rel) && !compiled.contains_key(rel) {
-                    let cr = self.compiled_relation(qm, rel)?;
-                    compiled.insert(rel.clone(), cr);
-                }
-            }
+        for rel in collect_protected(query, &self.protected) {
+            let cr = self.compiled_relation(qm, &rel)?;
+            compiled.insert(rel, cr);
         }
         rewrite_query(&self.db, query, &compiled, &self.cost, &self.options.rewrite)
     }
@@ -472,20 +478,26 @@ impl Sieve {
             Enforcement::Sieve => Ok(self.rewrite(query, qm)?.query),
             Enforcement::NoPolicies => Ok(query.clone()),
             Enforcement::Baseline(which) => {
+                // The baseline rewrites (policy DNF in WHERE, per-policy
+                // UNION, per-tuple UDF) attach to top-level FROM entries
+                // only; a protected relation read through nesting would
+                // escape them, so they fail closed instead of silently
+                // under-enforcing. Sieve enforcement mediates all depths.
+                let (top, nested) = classify_protected_refs(query, &self.protected);
+                if !nested.is_empty() {
+                    return Err(DbError::Unsupported(format!(
+                        "baseline {which:?} mediates only top-level FROM references; \
+                         protected relation(s) {nested:?} are read through a subquery, \
+                         WITH body, or derived table — use Sieve enforcement"
+                    )));
+                }
                 // Reclaim the previous baseline rewrite's ∆ partitions;
                 // cached guard fragments keep theirs registered.
                 self.delta
                     .remove(&std::mem::take(&mut self.baseline_delta_keys));
                 let before = self.delta.watermark();
                 let mut rewritten = query.clone();
-                let rels: Vec<String> = query
-                    .from
-                    .iter()
-                    .filter_map(|t| match &t.source {
-                        TableSource::Named(r) if self.protected.contains(r) => Some(r.clone()),
-                        _ => None,
-                    })
-                    .collect();
+                let rels: Vec<String> = top.into_iter().collect();
                 let mut failed = None;
                 for rel in rels {
                     let relevant =
@@ -534,14 +546,108 @@ impl Sieve {
         self.sql_cache.insert(sql.to_string(), Arc::clone(&q));
         self.execute(&q, qm)
     }
+
+    /// Warm-populate the guard cache for a batch of concurrent queriers
+    /// (the ROADMAP's batched multi-querier evaluation). Requests are
+    /// grouped by `(purpose, relation)` over the whole query tree; each
+    /// group's policy-store scan and candidate generation (policy
+    /// filtering, histogram estimates, Theorem 1 merges) run **once**,
+    /// and only the per-querier restriction + set cover run individually.
+    /// Generated expressions enter the cache through a single bulk insert
+    /// (one cap check for the batch). Keys already fresh per the
+    /// regeneration policy are left untouched.
+    ///
+    /// Batching changes the work schedule, not the semantics: each
+    /// querier's expression covers exactly its relevant policies, so
+    /// rewriting or executing afterwards returns exactly what sequential
+    /// [`Sieve::execute`] calls would.
+    pub fn prepare_batch(
+        &mut self,
+        requests: &[(QueryMetadata, SelectQuery)],
+    ) -> DbResult<BatchPrepareReport> {
+        let groups_map = crate::batch::group_requests(requests, &self.protected);
+        let mut report = BatchPrepareReport::default();
+        let mut to_insert: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
+        for ((purpose, relation), qms) in groups_map {
+            let pending: Vec<&QueryMetadata> = qms
+                .iter()
+                .copied()
+                .filter(|qm| {
+                    self.needs_generation(&(
+                        qm.querier,
+                        purpose.clone(),
+                        relation.clone(),
+                    ))
+                })
+                .collect();
+            report.reused += qms.len() - pending.len();
+            if pending.is_empty() {
+                continue;
+            }
+            let entry = self.db.table(&relation)?;
+            let group = crate::batch::build_shared_group(
+                self.store.iter(),
+                &relation,
+                &purpose,
+                entry,
+                &self.cost,
+            );
+            for qm in &pending {
+                let expr = group.generate_for(
+                    qm,
+                    &self.groups,
+                    entry,
+                    &self.cost,
+                    self.options.selection,
+                );
+                self.generations += 1;
+                to_insert.push((
+                    (qm.querier, purpose.clone(), relation.clone()),
+                    Arc::new(expr),
+                ));
+            }
+            report.generated += pending.len();
+            report.groups.push(BatchGroupReport {
+                purpose: purpose.clone(),
+                relation: relation.clone(),
+                queriers: qms.len(),
+                generated: pending.len(),
+                slice_policies: group.slice_len,
+                shared_candidates: group.shared_candidates(),
+            });
+        }
+        if self.options.persist {
+            for (_, expr) in &to_insert {
+                persist_guarded_expression(&mut self.db, expr, false, &mut self.guard_ids)?;
+            }
+        }
+        let freed = self.cache.insert_generated_bulk(to_insert);
+        self.delta.remove(&freed);
+        Ok(report)
+    }
+
+    /// Execute a batch of queries under SIEVE enforcement, amortizing
+    /// guard generation across queriers via [`Sieve::prepare_batch`].
+    /// Results are in request order and identical to calling
+    /// [`Sieve::execute`] per request.
+    pub fn execute_batch(
+        &mut self,
+        requests: &[(QueryMetadata, SelectQuery)],
+    ) -> DbResult<Vec<QueryResult>> {
+        self.prepare_batch(requests)?;
+        requests
+            .iter()
+            .map(|(qm, q)| self.execute(q, qm))
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::QuerierSpec;
+    use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
     use minidb::value::DataType;
-    use minidb::{DbProfile, TableSchema};
+    use minidb::{DbProfile, TableSchema, Value};
 
     fn loaded_sieve(profile: DbProfile) -> Sieve {
         let mut db = Database::new(profile);

@@ -25,6 +25,15 @@
 //! partition registration happen here), and [`rewrite_query`] assembles a
 //! concrete query from cached fragments — per-query work is only the
 //! strategy choice and predicate pushdown.
+//!
+//! Mediation is **complete over the query tree**: protected relations are
+//! guarded wherever they are read — the top-level `FROM`, derived tables,
+//! `WITH` bodies, and scalar subqueries, at any nesting depth (the
+//! incomplete-mediation failure mode of guarding only the outermost
+//! `FROM` is exactly what Guarnieri et al. warn against). Names are
+//! resolved against the query's `WITH` scope first: a CTE that shadows a
+//! protected relation name is a reference to the CTE's (already-mediated)
+//! result, not a fresh read of the base table.
 
 use crate::cost::{AccessStrategy, CostModel};
 use crate::delta::{delta_call_expr, DeltaRegistry, PartitionKey};
@@ -35,7 +44,7 @@ use minidb::expr::{ColumnRef, Expr};
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
 use minidb::planner::{best_sargable_probe, classify_predicate};
 use minidb::{Database, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// When to route a guard's partition through the ∆ operator.
@@ -269,77 +278,294 @@ fn strip_alias(e: &Expr, alias: &str) -> Expr {
     map(e, alias)
 }
 
-/// Rewrite a query under the compiled guard fragments of its protected
-/// relations. `compiled` maps relation name → the querier's compiled
-/// relation (see [`compile_guard_fragment`]); only cheap per-query work
-/// happens here — strategy choice, predicate pushdown, WITH assembly.
-pub fn rewrite_query(
-    db: &Database,
-    original: &SelectQuery,
-    compiled: &HashMap<String, CompiledRelation>,
-    cost: &CostModel,
-    opts: &RewriteOptions,
-) -> DbResult<RewriteOutput> {
-    let mut out_query = original.clone();
-    let mut decisions = Vec::new();
+/// True iff the expression contains a scalar subquery anywhere. Such
+/// predicates are never pushed into a guard WITH body: their correlated
+/// references resolve against the outer query's FROM layout, which the
+/// body does not reproduce.
+fn contains_subquery(e: &Expr) -> bool {
+    let mut found = false;
+    visit_subqueries(e, &mut |_| found = true);
+    found
+}
 
-    // FROM schemas for predicate classification (placeholders for derived
-    // and CTE sources, which carry no policies here).
-    let mut table_schemas = Vec::new();
-    for tref in &original.from {
-        let schema = match &tref.source {
-            TableSource::Named(name) if db.has_table(name) => db.table(name)?.schema().clone(),
-            _ => Arc::new(minidb::TableSchema::new(tref.alias.clone(), vec![])),
-        };
-        table_schemas.push((tref.alias.clone(), schema));
+/// Walk every base-table read of a protected relation in the query tree,
+/// resolving names against the WITH scope first (a CTE shadowing a
+/// protected name is a reference to the CTE, not to the base table).
+/// `top` is true only for references in the outermost FROM.
+fn walk_protected_refs(
+    query: &SelectQuery,
+    protected: &HashSet<String>,
+    scope: &HashSet<String>,
+    top: bool,
+    f: &mut dyn FnMut(&str, bool),
+) {
+    let mut scope = scope.clone();
+    for wc in &query.with {
+        walk_protected_refs(&wc.query, protected, &scope, false, f);
+        scope.insert(wc.name.clone());
     }
-    let classified = original
-        .predicate
-        .as_ref()
-        .map(|p| classify_predicate(p, &table_schemas));
+    for tref in &query.from {
+        match &tref.source {
+            TableSource::Named(rel) => {
+                if protected.contains(rel) && !scope.contains(rel) {
+                    f(rel, top);
+                }
+            }
+            TableSource::Derived(q) => walk_protected_refs(q, protected, &scope, false, f),
+        }
+    }
+    if let Some(p) = &query.predicate {
+        visit_subqueries(p, &mut |q| {
+            walk_protected_refs(q, protected, &scope, false, f)
+        });
+    }
+}
 
-    // Relations that appear more than once share one WITH clause without
-    // predicate pushdown (the paper's note in Section 5.3).
-    let mut occurrence_count: HashMap<&str, usize> = HashMap::new();
-    for tref in &original.from {
-        if let TableSource::Named(name) = &tref.source {
-            *occurrence_count.entry(name.as_str()).or_insert(0) += 1;
+/// All protected relations the query reads at **any** nesting depth
+/// (derived tables, WITH bodies, scalar subqueries), after resolving names
+/// against the WITH scope. This is the enforcement surface the middleware
+/// must compile guards for.
+pub fn collect_protected(
+    query: &SelectQuery,
+    protected: &HashSet<String>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, _| {
+        out.insert(rel.to_string());
+    });
+    out
+}
+
+/// Split the query's protected-relation reads into those named directly in
+/// the top-level FROM and those reached through nesting. The sets overlap
+/// when a relation is read both ways — and the nested read is still
+/// unmediated by a top-level-only rewrite, so callers gating on `nested`
+/// must refuse whenever it is non-empty, overlap included.
+pub fn classify_protected_refs(
+    query: &SelectQuery,
+    protected: &HashSet<String>,
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut top = BTreeSet::new();
+    let mut nested = BTreeSet::new();
+    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, is_top| {
+        if is_top {
+            top.insert(rel.to_string());
+        } else {
+            nested.insert(rel.to_string());
+        }
+    });
+    (top, nested)
+}
+
+/// The recursive rewriter: one instance per [`rewrite_query`] call,
+/// accumulating the guard WITH clauses and per-relation decisions while
+/// descending through the query tree.
+struct Rewriter<'a> {
+    db: &'a Database,
+    compiled: &'a HashMap<String, CompiledRelation>,
+    cost: &'a CostModel,
+    opts: &'a RewriteOptions,
+    /// Scope-aware reference counts per protected relation, over the whole
+    /// tree. A relation read more than once shares one WITH clause without
+    /// predicate pushdown (the paper's note in Section 5.3).
+    occurrences: HashMap<String, usize>,
+    /// Every WITH name the original query defines anywhere, plus the guard
+    /// names we allocate — guard CTE names must collide with neither.
+    used_names: HashSet<String>,
+    /// relation → guard WITH name, once created.
+    created: HashMap<String, String>,
+    guard_withs: Vec<WithClause>,
+    decisions: Vec<RelationRewrite>,
+}
+
+impl Rewriter<'_> {
+    /// First pass: count protected references (scope-aware) and record the
+    /// WITH names in use.
+    fn survey(&mut self, query: &SelectQuery, scope: &HashSet<String>) {
+        let mut scope = scope.clone();
+        for wc in &query.with {
+            self.used_names.insert(wc.name.clone());
+            self.survey(&wc.query, &scope);
+            scope.insert(wc.name.clone());
+        }
+        for tref in &query.from {
+            match &tref.source {
+                TableSource::Named(rel) => {
+                    if self.compiled.contains_key(rel) && !scope.contains(rel) {
+                        *self.occurrences.entry(rel.clone()).or_insert(0) += 1;
+                    }
+                }
+                TableSource::Derived(q) => self.survey(q, &scope),
+            }
+        }
+        let mut collect = |q: &SelectQuery| self.survey(q, &scope);
+        if let Some(p) = &query.predicate {
+            visit_subqueries(p, &mut collect);
         }
     }
 
-    let mut created_with: HashMap<String, String> = HashMap::new(); // relation → with name
-    let mut new_withs: Vec<WithClause> = Vec::new();
+    /// Second pass: rebuild one query level, guarding protected reads and
+    /// recursing into derived tables, WITH bodies, and scalar subqueries.
+    fn rewrite_level(
+        &mut self,
+        query: &SelectQuery,
+        scope: &HashSet<String>,
+    ) -> DbResult<SelectQuery> {
+        let mut scope = scope.clone();
+        let mut with = Vec::with_capacity(query.with.len());
+        for wc in &query.with {
+            let body = self.rewrite_level(&wc.query, &scope)?;
+            scope.insert(wc.name.clone());
+            with.push(WithClause {
+                name: wc.name.clone(),
+                query: body,
+            });
+        }
 
-    for (i, tref) in original.from.iter().enumerate() {
-        let TableSource::Named(rel) = &tref.source else {
-            continue;
-        };
-        let Some(cr) = compiled.get(rel) else {
-            continue;
-        };
-        if let Some(existing) = created_with.get(rel) {
-            out_query.from[i] = TableRef {
-                source: TableSource::Named(existing.clone()),
-                alias: tref.alias.clone(),
-                hint: IndexHint::None,
+        // FROM schemas for predicate classification at this level
+        // (placeholders for derived, CTE, and scope-shadowed sources).
+        let mut table_schemas = Vec::new();
+        for tref in &query.from {
+            let schema = match &tref.source {
+                TableSource::Named(name) if !scope.contains(name) && self.db.has_table(name) => {
+                    self.db.table(name)?.schema().clone()
+                }
+                _ => Arc::new(minidb::TableSchema::new(tref.alias.clone(), vec![])),
             };
-            continue;
+            table_schemas.push((tref.alias.clone(), schema));
+        }
+        let classified = query
+            .predicate
+            .as_ref()
+            .map(|p| classify_predicate(p, &table_schemas));
+
+        let mut from = Vec::with_capacity(query.from.len());
+        for tref in &query.from {
+            match &tref.source {
+                TableSource::Named(rel)
+                    if !scope.contains(rel) && self.compiled.contains_key(rel) =>
+                {
+                    let with_name = match self.created.get(rel) {
+                        Some(existing) => existing.clone(),
+                        None => {
+                            // This level's query predicate for the alias is
+                            // pushable only when this is the relation's sole
+                            // read in the whole tree and the predicate has
+                            // no subqueries of its own.
+                            let sole =
+                                self.occurrences.get(rel.as_str()).copied().unwrap_or(1) == 1;
+                            let local_bare = if sole {
+                                classified
+                                    .as_ref()
+                                    .and_then(|c| c.local_predicate(&tref.alias))
+                                    .filter(|p| !contains_subquery(p))
+                                    .map(|p| strip_alias(&p, &tref.alias))
+                            } else {
+                                None
+                            };
+                            self.create_guard_with(rel, local_bare)?
+                        }
+                    };
+                    from.push(TableRef {
+                        source: TableSource::Named(with_name),
+                        alias: tref.alias.clone(),
+                        hint: IndexHint::None,
+                    });
+                }
+                TableSource::Named(_) => from.push(tref.clone()),
+                TableSource::Derived(q) => {
+                    let inner = self.rewrite_level(q, &scope)?;
+                    from.push(TableRef {
+                        source: TableSource::Derived(Box::new(inner)),
+                        alias: tref.alias.clone(),
+                        hint: tref.hint.clone(),
+                    });
+                }
+            }
         }
 
+        let predicate = match &query.predicate {
+            Some(p) => Some(self.rewrite_expr(p, &scope)?),
+            None => None,
+        };
+
+        Ok(SelectQuery {
+            with,
+            select: query.select.clone(),
+            from,
+            predicate,
+            group_by: query.group_by.clone(),
+            limit: query.limit,
+        })
+    }
+
+    /// Rebuild an expression, descending into scalar subqueries.
+    fn rewrite_expr(&mut self, e: &Expr, scope: &HashSet<String>) -> DbResult<Expr> {
+        Ok(match e {
+            Expr::ScalarSubquery(q) => {
+                Expr::ScalarSubquery(Box::new(self.rewrite_level(q, scope)?))
+            }
+            Expr::Literal(_) | Expr::Column(_) => e.clone(),
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op: *op,
+                lhs: Box::new(self.rewrite_expr(lhs, scope)?),
+                rhs: Box::new(self.rewrite_expr(rhs, scope)?),
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.rewrite_expr(expr, scope)?),
+                low: Box::new(self.rewrite_expr(low, scope)?),
+                high: Box::new(self.rewrite_expr(high, scope)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.rewrite_expr(expr, scope)?),
+                list: list
+                    .iter()
+                    .map(|x| self.rewrite_expr(x, scope))
+                    .collect::<DbResult<Vec<_>>>()?,
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.rewrite_expr(expr, scope)?),
+                negated: *negated,
+            },
+            Expr::And(v) => Expr::And(
+                v.iter()
+                    .map(|x| self.rewrite_expr(x, scope))
+                    .collect::<DbResult<Vec<_>>>()?,
+            ),
+            Expr::Or(v) => Expr::Or(
+                v.iter()
+                    .map(|x| self.rewrite_expr(x, scope))
+                    .collect::<DbResult<Vec<_>>>()?,
+            ),
+            Expr::Not(x) => Expr::Not(Box::new(self.rewrite_expr(x, scope)?)),
+            Expr::Udf { name, args } => Expr::Udf {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|x| self.rewrite_expr(x, scope))
+                    .collect::<DbResult<Vec<_>>>()?,
+            },
+        })
+    }
+
+    /// Build the guard WITH clause for a protected relation (strategy
+    /// choice, optional pushdown, branch assembly) and record the decision.
+    fn create_guard_with(&mut self, rel: &str, local_bare: Option<Expr>) -> DbResult<String> {
+        let cr = self.compiled.get(rel).expect("caller checked membership");
         let ge = &cr.expr;
         let fragment = &cr.fragment;
-        let entry = db.table(rel)?;
-        let shared = occurrence_count.get(rel.as_str()).copied().unwrap_or(1) > 1;
-
-        // Local query predicate for this alias, moved to bare columns.
-        let local_bare: Option<Expr> = if shared {
-            None
-        } else {
-            classified
-                .as_ref()
-                .and_then(|c| c.local_predicate(&tref.alias))
-                .map(|p| strip_alias(&p, &tref.alias))
-        };
+        let entry = self.db.table(rel)?;
 
         // Optimizer estimate for the query predicate (ρ(p), Section 5.5).
         let query_probe = local_bare
@@ -348,13 +574,14 @@ pub fn rewrite_query(
         let est_query_rows = query_probe.as_ref().map(|p| p.estimate_rows(entry));
 
         let est_guard_rows = fragment.est_guard_rows;
-        let strategy = opts.forced_strategy.unwrap_or_else(|| {
-            cost.strategy_costs(entry.table.len() as f64, est_guard_rows, est_query_rows)
+        let strategy = self.opts.forced_strategy.unwrap_or_else(|| {
+            self.cost
+                .strategy_costs(entry.table.len() as f64, est_guard_rows, est_query_rows)
                 .best()
         });
 
         // Assemble one branch per compiled guard.
-        let push_qpred = !opts.no_predicate_pushdown
+        let push_qpred = !self.opts.no_predicate_pushdown
             && strategy == AccessStrategy::IndexGuards
             && local_bare.is_some();
         let mut branches = Vec::with_capacity(fragment.branches.len());
@@ -394,15 +621,15 @@ pub fn rewrite_query(
             }
         };
 
-        let with_name = format!("{rel}_sieve");
-        new_withs.push(WithClause {
+        let with_name = self.fresh_name(rel);
+        self.guard_withs.push(WithClause {
             name: with_name.clone(),
             query: SelectQuery {
                 with: vec![],
                 select: vec![minidb::SelectItem::Star],
                 from: vec![TableRef {
-                    source: TableSource::Named(rel.clone()),
-                    alias: rel.clone(),
+                    source: TableSource::Named(rel.to_string()),
+                    alias: rel.to_string(),
                     hint,
                 }],
                 predicate: Some(body_pred),
@@ -410,32 +637,112 @@ pub fn rewrite_query(
                 limit: None,
             },
         });
-        created_with.insert(rel.clone(), with_name.clone());
-        out_query.from[i] = TableRef {
-            source: TableSource::Named(with_name.clone()),
-            alias: tref.alias.clone(),
-            hint: IndexHint::None,
-        };
-        decisions.push(RelationRewrite {
-            relation: rel.clone(),
-            with_name,
+        self.created.insert(rel.to_string(), with_name.clone());
+        self.decisions.push(RelationRewrite {
+            relation: rel.to_string(),
+            with_name: with_name.clone(),
             strategy,
             guard_count: ge.guards.len(),
             delta_guards,
             est_guard_rows,
             est_query_rows,
         });
+        Ok(with_name)
     }
 
-    // New WITH clauses go first so the original ones (if any) may refer to
-    // base tables untouched; the rewritten FROM entries refer to ours.
-    let mut with = new_withs;
+    /// A guard CTE name free of collisions with the query's own WITH
+    /// names and with base tables.
+    fn fresh_name(&mut self, rel: &str) -> String {
+        let mut name = format!("{rel}_sieve");
+        let mut i = 2;
+        while self.used_names.contains(&name) || self.db.has_table(&name) {
+            name = format!("{rel}_sieve{i}");
+            i += 1;
+        }
+        self.used_names.insert(name.clone());
+        name
+    }
+}
+
+/// Visit every scalar subquery in an expression.
+fn visit_subqueries(e: &Expr, f: &mut impl FnMut(&SelectQuery)) {
+    match e {
+        Expr::ScalarSubquery(q) => f(q),
+        Expr::Literal(_) | Expr::Column(_) => {}
+        Expr::Cmp { lhs, rhs, .. } => {
+            visit_subqueries(lhs, f);
+            visit_subqueries(rhs, f);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            visit_subqueries(expr, f);
+            visit_subqueries(low, f);
+            visit_subqueries(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            visit_subqueries(expr, f);
+            for x in list {
+                visit_subqueries(x, f);
+            }
+        }
+        Expr::IsNull { expr, .. } => visit_subqueries(expr, f),
+        Expr::And(v) | Expr::Or(v) => {
+            for x in v {
+                visit_subqueries(x, f);
+            }
+        }
+        Expr::Not(x) => visit_subqueries(x, f),
+        Expr::Udf { args, .. } => {
+            for x in args {
+                visit_subqueries(x, f);
+            }
+        }
+    }
+}
+
+/// Rewrite a query under the compiled guard fragments of its protected
+/// relations. `compiled` maps relation name → the querier's compiled
+/// relation (see [`compile_guard_fragment`]); only cheap per-query work
+/// happens here — strategy choice, predicate pushdown, WITH assembly.
+///
+/// The whole query tree is mediated: protected reads inside derived
+/// tables, WITH bodies, and scalar subqueries are repointed at the guard
+/// WITH clause exactly like top-level reads, with names resolved against
+/// the WITH scope first (CTE shadowing). The guard WITH clauses are
+/// prepended ahead of the query's own, so the query's CTE bodies may
+/// reference them.
+pub fn rewrite_query(
+    db: &Database,
+    original: &SelectQuery,
+    compiled: &HashMap<String, CompiledRelation>,
+    cost: &CostModel,
+    opts: &RewriteOptions,
+) -> DbResult<RewriteOutput> {
+    let mut rw = Rewriter {
+        db,
+        compiled,
+        cost,
+        opts,
+        occurrences: HashMap::new(),
+        used_names: HashSet::new(),
+        created: HashMap::new(),
+        guard_withs: Vec::new(),
+        decisions: Vec::new(),
+    };
+    let empty_scope = HashSet::new();
+    rw.survey(original, &empty_scope);
+    let mut out_query = rw.rewrite_level(original, &empty_scope)?;
+
+    // Guard WITH clauses go first: they read only base tables, while the
+    // query's own (rewritten) CTE bodies may now refer to them.
+    let mut with = rw.guard_withs;
     with.append(&mut out_query.with);
     out_query.with = with;
 
     Ok(RewriteOutput {
         query: out_query,
-        relations: decisions,
+        relations: rw.decisions,
     })
 }
 
@@ -673,6 +980,129 @@ mod tests {
         assert_eq!(delta.len(), registered, "rewrites must not re-register ∆");
         assert!(!db.run_query(&r1.query).unwrap().is_empty());
         db.run_query(&r2.query).unwrap();
+    }
+
+    #[test]
+    fn collector_walks_all_depths_and_honors_with_scope() {
+        let protected: HashSet<String> =
+            ["wifi_dataset".to_string(), "orders".to_string()].into();
+        // WITH orders AS (SELECT * FROM wifi_dataset) SELECT * FROM orders:
+        // the body read of wifi_dataset is a (nested) protected read; the
+        // main-body `orders` is the CTE, not the protected base table.
+        let q = SelectQuery::star_from("orders")
+            .with_clause("orders", SelectQuery::star_from("wifi_dataset"));
+        let all = collect_protected(&q, &protected);
+        assert_eq!(
+            all.into_iter().collect::<Vec<_>>(),
+            vec!["wifi_dataset".to_string()]
+        );
+        let (top, nested) = classify_protected_refs(&q, &protected);
+        assert!(top.is_empty(), "CTE reference must not count as base read");
+        assert_eq!(nested.into_iter().collect::<Vec<_>>(), vec!["wifi_dataset"]);
+
+        // Derived table + scalar subquery both count as nested reads.
+        let derived = SelectQuery {
+            with: vec![],
+            select: vec![minidb::SelectItem::Star],
+            from: vec![TableRef {
+                source: TableSource::Derived(Box::new(SelectQuery::star_from("orders"))),
+                alias: "d".into(),
+                hint: IndexHint::None,
+            }],
+            predicate: Some(Expr::Cmp {
+                op: minidb::CmpOp::Lt,
+                lhs: Box::new(Expr::Column(ColumnRef::bare("x"))),
+                rhs: Box::new(Expr::ScalarSubquery(Box::new(SelectQuery::star_from(
+                    "wifi_dataset",
+                )))),
+            }),
+            group_by: vec![],
+            limit: None,
+        };
+        let (top, nested) = classify_protected_refs(&derived, &protected);
+        assert!(top.is_empty());
+        assert_eq!(nested.len(), 2);
+    }
+
+    #[test]
+    fn nested_rewrite_leaves_no_unguarded_base_reads() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
+        let protected: HashSet<String> = ["wifi_dataset".to_string()].into();
+        // WITH v AS (SELECT * FROM wifi_dataset) over a derived read, plus
+        // a scalar-subquery read in the predicate.
+        let inner = SelectQuery {
+            with: vec![],
+            select: vec![minidb::SelectItem::Star],
+            from: vec![TableRef {
+                source: TableSource::Derived(Box::new(SelectQuery::star_from(
+                    "wifi_dataset",
+                ))),
+                alias: "d".into(),
+                hint: IndexHint::None,
+            }],
+            predicate: None,
+            group_by: vec![],
+            limit: None,
+        };
+        let q = SelectQuery::star_from("v")
+            .with_clause("v", inner)
+            .filter(Expr::Cmp {
+                op: minidb::CmpOp::Le,
+                lhs: Box::new(Expr::Column(ColumnRef::bare("owner"))),
+                rhs: Box::new(Expr::ScalarSubquery(Box::new(SelectQuery::star_from(
+                    "wifi_dataset",
+                )))),
+            });
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
+        // One shared guard CTE (the relation is read twice).
+        assert_eq!(out.relations.len(), 1);
+        // Strip the guard CTEs: no protected base read may remain anywhere.
+        let mut stripped = out.query.clone();
+        stripped
+            .with
+            .retain(|w| !out.relations.iter().any(|r| r.with_name == w.name));
+        assert!(
+            collect_protected(&stripped, &protected).is_empty(),
+            "unguarded base reads remain: {stripped:?}"
+        );
+        // And the rewritten query still renders to parseable SQL.
+        let sql = minidb::sql::render_query(&out.query);
+        let reparsed = minidb::sql::parse(&sql).unwrap();
+        assert_eq!(reparsed, out.query);
+    }
+
+    #[test]
+    fn guard_cte_name_avoids_collisions() {
+        let (db, policies) = setup();
+        let (guarded, cost) = guarded_for(&db, &policies);
+        let delta = DeltaRegistry::new();
+        let compiled =
+            compiled_for(&db, &delta, &guarded, &policies, &cost, DeltaMode::default());
+        // The user already defines a CTE named wifi_dataset_sieve.
+        let q = SelectQuery {
+            with: vec![],
+            select: vec![minidb::SelectItem::Star],
+            from: vec![
+                TableRef::aliased("wifi_dataset", "w"),
+                TableRef::aliased("wifi_dataset_sieve", "u"),
+            ],
+            predicate: None,
+            group_by: vec![],
+            limit: None,
+        }
+        .with_clause("wifi_dataset_sieve", SelectQuery::star_from("wifi_dataset"));
+        let out = rewrite_query(&db, &q, &compiled, &cost, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.relations.len(), 1);
+        assert_ne!(out.relations[0].with_name, "wifi_dataset_sieve");
+        assert!(out
+            .query
+            .with
+            .iter()
+            .any(|w| w.name == out.relations[0].with_name));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   Section 7.1 over the TIPPERS dataset.
 //! * [`query_gen`] — the SmartBench-style Q1/Q2/Q3 templates at three
 //!   selectivity classes.
+//! * [`traffic`] — multi-querier traffic batches (one query per distinct
+//!   querier) feeding `sieve_core`'s batched evaluation.
 
 #![warn(missing_docs)]
 
@@ -21,9 +23,11 @@ pub mod policy_gen;
 pub mod profiles;
 pub mod query_gen;
 pub mod tippers;
+pub mod traffic;
 
 pub use mall::{MallConfig, MallDataset, MALL_TABLE};
 pub use policy_gen::{corpus_stats, generate_policies, PolicyGenConfig};
 pub use profiles::UserProfile;
 pub use query_gen::{generate_query, workload, QueryClass, Selectivity};
 pub use tippers::{generate as generate_tippers, TippersConfig, TippersDataset, WIFI_TABLE};
+pub use traffic::{multi_querier_traffic, TrafficConfig};

@@ -137,9 +137,12 @@ fn add_policy_invalidates_only_affected_key_and_matches_cold_and_oracle() {
     );
 
     // The affected key regenerates and matches both a cold-cache run and
-    // the visible_rows oracle.
+    // the visible_rows oracle. Replacing an outdated entry is counted as a
+    // regeneration, not a miss (the entry existed).
+    let regens_before = sieve.cache_stats().regenerations;
     let warm_after_invalidation = run_sorted(&mut sieve, &qm_a);
-    assert_eq!(sieve.cache_stats().misses, misses_before + 1);
+    assert_eq!(sieve.cache_stats().misses, misses_before);
+    assert_eq!(sieve.cache_stats().regenerations, regens_before + 1);
     let expect = oracle(&sieve, &qm_a);
     assert_eq!(warm_after_invalidation, expect);
     assert!(warm_after_invalidation
@@ -220,6 +223,93 @@ fn delta_mode_flip_recompiles_fragment_and_stays_correct() {
     assert_eq!(inline_rows, delta_rows);
     assert_eq!(delta_rows, oracle(&sieve, &qm));
     assert_eq!(sieve.generations, 1, "mode change must not regenerate");
+}
+
+/// Ground-truth counter audit: drive a known sequence of queries and
+/// policy insertions and check every counter against a hand-maintained
+/// trace. Catches double-counted misses, regenerations booked as misses,
+/// and generated-but-uncached skew: the invariants are
+/// `lookups = hits + misses + regenerations` and
+/// `Sieve::generations = misses + regenerations` — always.
+#[test]
+fn counters_match_ground_truth_trace() {
+    let mut sieve = loaded_sieve();
+    let qm_a = QueryMetadata::new(500, "Analytics");
+    let qm_b = QueryMetadata::new(501, "Analytics");
+
+    // Trace model (expression-level): expected (hits, misses, regens).
+    let mut expect = (0u64, 0u64, 0u64);
+    let check = |sieve: &Sieve, expect: &(u64, u64, u64), step: &str| {
+        let s = sieve.cache_stats();
+        assert_eq!((s.hits, s.misses, s.regenerations), *expect, "at {step}");
+        assert_eq!(s.generations(), sieve.generations, "generations at {step}");
+        assert_eq!(s.lookups(), s.hits + s.misses + s.regenerations, "lookups at {step}");
+    };
+
+    run_sorted(&mut sieve, &qm_a); // cold → miss
+    expect.1 += 1;
+    check(&sieve, &expect, "cold A");
+
+    run_sorted(&mut sieve, &qm_a); // warm → hit
+    run_sorted(&mut sieve, &qm_a);
+    expect.0 += 2;
+    check(&sieve, &expect, "warm A x2");
+
+    run_sorted(&mut sieve, &qm_b); // cold for B → miss
+    expect.1 += 1;
+    check(&sieve, &expect, "cold B");
+
+    // Policy touching only A's key: A regenerates (entry existed), B stays
+    // warm.
+    sieve.add_policy(policy(72, 500, "Analytics", 1001)).unwrap();
+    run_sorted(&mut sieve, &qm_a);
+    expect.2 += 1;
+    run_sorted(&mut sieve, &qm_b);
+    expect.0 += 1;
+    check(&sieve, &expect, "regen A, warm B");
+
+    // invalidate_all drops entries: the next queries are misses again
+    // (fresh generations, not regenerations).
+    sieve.invalidate_all();
+    run_sorted(&mut sieve, &qm_a);
+    run_sorted(&mut sieve, &qm_b);
+    expect.1 += 2;
+    check(&sieve, &expect, "cold after clear");
+
+    assert_eq!(sieve.cache_stats().invalidations, 1, "one key invalidated");
+    assert_eq!(sieve.cache_stats().evictions, 0, "cap never tripped");
+}
+
+/// Batched preparation must book exactly one generation per key — no
+/// double counting through the bulk-insert path — and the follow-up
+/// per-query lookups are hits.
+#[test]
+fn batch_prepare_counters_match_trace() {
+    let mut sieve = loaded_sieve();
+    let q = SelectQuery::star_from(REL);
+    let requests: Vec<(QueryMetadata, SelectQuery)> = [500i64, 501]
+        .iter()
+        .map(|&u| (QueryMetadata::new(u, "Analytics"), q.clone()))
+        .collect();
+    let report = sieve.prepare_batch(&requests).unwrap();
+    assert_eq!(report.generated, 2);
+    assert_eq!(report.reused, 0);
+    let s = sieve.cache_stats();
+    assert_eq!((s.hits, s.misses, s.regenerations), (0, 2, 0));
+    assert_eq!(sieve.generations, 2);
+
+    // Re-preparing the same batch generates nothing.
+    let report = sieve.prepare_batch(&requests).unwrap();
+    assert_eq!(report.generated, 0);
+    assert_eq!(report.reused, 2);
+    assert_eq!(sieve.generations, 2);
+
+    // Executing the batch hits the warm cache.
+    let results = sieve.execute_batch(&requests).unwrap();
+    assert_eq!(results.len(), 2);
+    let s = sieve.cache_stats();
+    assert_eq!(s.misses, 2, "no extra generations at execute time");
+    assert_eq!(s.hits, 2);
 }
 
 #[test]

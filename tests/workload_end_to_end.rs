@@ -198,3 +198,52 @@ fn persistence_mirrors_policies_into_relations() {
         .unwrap();
     assert!(ge.rows[0][0].as_int().unwrap() >= 1);
 }
+
+#[test]
+fn batched_execution_equals_sequential_over_campus_traffic() {
+    // The tentpole's correctness bar: prepare_batch/execute_batch over a
+    // multi-querier traffic batch returns row-for-row what per-request
+    // execute returns, while generating each (querier, purpose, relation)
+    // expression exactly once through the shared phase.
+    let (mut sieve, ds) = campus(DbProfile::MySqlLike);
+    let requests = sieve::workload::traffic::multi_querier_traffic(
+        &ds,
+        &sieve::workload::TrafficConfig {
+            queriers: 40,
+            purpose: "Analytics".into(),
+            seed: 3,
+        },
+    );
+    assert_eq!(requests.len(), 40);
+
+    // Sequential reference on a cold cache.
+    sieve.invalidate_all();
+    let seq_gens_before = sieve.generations;
+    let mut sequential: Vec<Vec<Row>> = Vec::with_capacity(requests.len());
+    for (qm, q) in &requests {
+        let mut rows = sieve.execute(q, qm).unwrap().rows;
+        rows.sort();
+        sequential.push(rows);
+    }
+    let seq_generations = sieve.generations - seq_gens_before;
+
+    // Batched run on a cold cache.
+    sieve.invalidate_all();
+    let gens_before = sieve.generations;
+    let results = sieve.execute_batch(&requests).unwrap();
+    assert_eq!(results.len(), requests.len());
+    for (got, expect) in results.into_iter().zip(&sequential) {
+        let mut rows = got.rows;
+        rows.sort();
+        assert_eq!(&rows, expect, "batched result diverged from sequential");
+    }
+    assert_eq!(
+        sieve.generations - gens_before,
+        seq_generations,
+        "batch must generate exactly once per key"
+    );
+    // Re-running the same batch is fully warm: nothing regenerates.
+    let gens = sieve.generations;
+    sieve.execute_batch(&requests).unwrap();
+    assert_eq!(sieve.generations, gens);
+}
