@@ -1,0 +1,234 @@
+//! `bench_backend` — in-process vs wire-SQL per-query dispatch overhead.
+//!
+//! The execution-backend abstraction puts a seam between the middleware
+//! and the engine; this bench prices that seam. Same campus, same
+//! querier, same warm guard cache, two backends:
+//!
+//! * `MinidbBackend` — rewritten query AST handed straight to the
+//!   executor (the pre-refactor behaviour; the zero-overhead baseline);
+//! * `WireSqlBackend` — the rewritten query rendered to SQL text,
+//!   shipped across a simulated wire, re-parsed, then executed (the path
+//!   a network backend takes, minus the network).
+//!
+//! Emits a text table and `results/BENCH_backend.json`. The warm-prepare
+//! number is backend-independent (the guard cache sits above the seam)
+//! and must stay within noise of `BENCH_hotpath.json`'s — the refactor
+//! may not tax the hot path. `--quick` shrinks the dataset for CI.
+
+use minidb::{Database, SelectQuery};
+use sieve_bench::harness::{build_campus, emit, queriers_with_policies, EnvConfig};
+use sieve_bench::table::{mean, render};
+use sieve_core::policy::QueryMetadata;
+use sieve_core::{MinidbBackend, Sieve, SieveOptions, SqlBackend};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    env: EnvConfig,
+    warm_reps: usize,
+    /// Render+parse reps for the dispatch microbench (wire path only).
+    #[cfg_attr(not(feature = "wire-sql"), allow(dead_code))]
+    dispatch_reps: usize,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let mut env = EnvConfig::from_env();
+        if quick {
+            env.scale = 0.004;
+            env.days = 20;
+        }
+        Config {
+            quick,
+            env,
+            warm_reps: if quick { 30 } else { 100 },
+            dispatch_reps: if quick { 200 } else { 1000 },
+        }
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Warm measurements for one backend: (warm prepare ms, warm exec ms,
+/// result rows).
+fn measure<B: SqlBackend>(
+    sieve: &mut Sieve<B>,
+    q: &SelectQuery,
+    qm: &QueryMetadata,
+    reps: usize,
+) -> (f64, f64, usize) {
+    // Warm-up: populate the guard cache and the engine's own state.
+    let rows = sieve.execute(q, qm).expect("warm-up query").len();
+    let mut prep = Vec::with_capacity(reps);
+    let mut exec = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        sieve.rewrite(q, qm).expect("warm rewrite");
+        prep.push(ms(t.elapsed()));
+        let t = Instant::now();
+        sieve.execute(q, qm).expect("warm execute");
+        exec.push(ms(t.elapsed()));
+    }
+    (
+        mean(&prep).unwrap_or(f64::NAN),
+        mean(&exec).unwrap_or(f64::NAN),
+        rows,
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let purpose = "Analytics";
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== bench_backend (scale={}, days={}, quick={}) ===\n",
+        cfg.env.scale, cfg.env.days, cfg.quick
+    );
+
+    let campus = build_campus(minidb::DbProfile::MySqlLike, &cfg.env);
+    let (querier, policy_count) = {
+        let mut floor = 100usize;
+        loop {
+            let qs = queriers_with_policies(&campus, purpose, floor);
+            if let Some(&(q, c)) = qs.first() {
+                break (q, c);
+            }
+            if floor <= 10 {
+                panic!("campus has no queriers with policies");
+            }
+            floor -= 10;
+        }
+    };
+    let qm = QueryMetadata::new(querier, purpose);
+    let q = sieve_workload::query_gen::generate_query(
+        &campus.dataset,
+        sieve_workload::QueryClass::Q1,
+        sieve_workload::Selectivity::Low,
+        7,
+    );
+    let base_db: &Database = campus.sieve.db();
+    let options = SieveOptions::default();
+
+    // ---- In-process baseline.
+    let mut minidb_sieve =
+        Sieve::with_backend(MinidbBackend::new(base_db.clone()), options.clone())
+            .expect("minidb backend init");
+    *minidb_sieve.groups_mut() = campus.dataset.groups.clone();
+    minidb_sieve
+        .add_policies(campus.policies.iter().cloned())
+        .expect("policies");
+    let (mini_prep, mini_exec, mini_rows) =
+        measure(&mut minidb_sieve, &q, &qm, cfg.warm_reps);
+
+    // ---- Wire-SQL backend over the same data.
+    #[cfg(feature = "wire-sql")]
+    let wire = {
+        use sieve_core::WireSqlBackend;
+        let mut wire_sieve =
+            Sieve::with_backend(WireSqlBackend::new(base_db.clone()), options.clone())
+                .expect("wire backend init");
+        *wire_sieve.groups_mut() = campus.dataset.groups.clone();
+        wire_sieve
+            .add_policies(campus.policies.iter().cloned())
+            .expect("policies");
+        let (wire_prep, wire_exec, wire_rows) =
+            measure(&mut wire_sieve, &q, &qm, cfg.warm_reps);
+        assert_eq!(
+            mini_rows, wire_rows,
+            "backends must return identical result sets"
+        );
+        let trips = wire_sieve.backend().round_trips();
+        assert!(trips as usize >= cfg.warm_reps, "wire path must be exercised");
+
+        // Isolate the dispatch itself: render + parse of the *rewritten*
+        // query, which is all the wire adds over the in-process call.
+        let rewritten = wire_sieve.rewrite(&q, &qm).expect("rewrite").query;
+        let sql = minidb::sql::render_query(&rewritten);
+        let t = Instant::now();
+        for _ in 0..cfg.dispatch_reps {
+            let parsed = minidb::sql::parse(&sql).expect("reparse");
+            std::hint::black_box(&parsed);
+        }
+        let parse_ms = ms(t.elapsed()) / cfg.dispatch_reps as f64;
+        let t = Instant::now();
+        for _ in 0..cfg.dispatch_reps {
+            std::hint::black_box(minidb::sql::render_query(&rewritten));
+        }
+        let render_ms = ms(t.elapsed()) / cfg.dispatch_reps as f64;
+        Some((wire_prep, wire_exec, sql.len(), render_ms, parse_ms, trips))
+    };
+    #[cfg(not(feature = "wire-sql"))]
+    let wire: Option<(f64, f64, usize, f64, f64, u64)> = None;
+
+    let mut rows_out = vec![
+        vec!["querier".into(), format!("{querier} ({policy_count} policies)")],
+        vec!["result rows".into(), mini_rows.to_string()],
+        vec!["minidb warm prepare ms".into(), format!("{mini_prep:.4}")],
+        vec!["minidb warm exec ms".into(), format!("{mini_exec:.4}")],
+    ];
+    if let Some((wire_prep, wire_exec, sql_bytes, render_ms, parse_ms, trips)) = wire {
+        let overhead_ms = wire_exec - mini_exec;
+        let overhead_pct = 100.0 * overhead_ms / mini_exec.max(f64::EPSILON);
+        rows_out.extend([
+            vec!["wire warm prepare ms".into(), format!("{wire_prep:.4}")],
+            vec!["wire warm exec ms".into(), format!("{wire_exec:.4}")],
+            vec!["dispatch overhead ms/query".into(), format!("{overhead_ms:.4}")],
+            vec!["dispatch overhead %".into(), format!("{overhead_pct:.1}%")],
+            vec!["render ms/query".into(), format!("{render_ms:.4}")],
+            vec!["parse ms/query".into(), format!("{parse_ms:.4}")],
+            vec!["rewritten SQL bytes".into(), sql_bytes.to_string()],
+            vec!["wire round trips".into(), trips.to_string()],
+        ]);
+        let _ = writeln!(out, "{}", render(&["metric", "value"], &rows_out));
+        let _ = writeln!(
+            out,
+            "(dispatch overhead = warm wire exec − warm in-process exec; the guard\n\
+             cache sits above the backend seam, so warm prepare must match\n\
+             BENCH_hotpath.json's warm number on both backends)"
+        );
+        emit("bench_backend", &out);
+        let json = format!(
+            "{{\n  \
+               \"bench\": \"backend\",\n  \
+               \"quick\": {quick},\n  \
+               \"scale\": {scale},\n  \
+               \"days\": {days},\n  \
+               \"querier_policies\": {policy_count},\n  \
+               \"result_rows\": {mini_rows},\n  \
+               \"warm_reps\": {reps},\n  \
+               \"minidb\": {{\n    \
+                 \"warm_prepare_ms\": {mini_prep:.4},\n    \
+                 \"warm_exec_ms\": {mini_exec:.4}\n  \
+               }},\n  \
+               \"wire_sql\": {{\n    \
+                 \"warm_prepare_ms\": {wire_prep:.4},\n    \
+                 \"warm_exec_ms\": {wire_exec:.4},\n    \
+                 \"rewritten_sql_bytes\": {sql_bytes},\n    \
+                 \"render_ms_per_query\": {render_ms:.4},\n    \
+                 \"parse_ms_per_query\": {parse_ms:.4}\n  \
+               }},\n  \
+               \"dispatch_overhead_ms\": {overhead_ms:.4},\n  \
+               \"dispatch_overhead_pct\": {overhead_pct:.2}\n\
+             }}\n",
+            quick = cfg.quick,
+            scale = cfg.env.scale,
+            days = cfg.env.days,
+            reps = cfg.warm_reps,
+        );
+        let _ = std::fs::create_dir_all("results");
+        let path = std::path::Path::new("results").join("BENCH_backend.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    } else {
+        let _ = writeln!(out, "{}", render(&["metric", "value"], &rows_out));
+        let _ = writeln!(out, "(wire-sql feature disabled: in-process numbers only)");
+        emit("bench_backend", &out);
+    }
+}

@@ -153,9 +153,11 @@ pub struct Timing {
 }
 
 /// Run a query under an enforcement mechanism `reps` times (after one
-/// warm-up run, as the paper reports warm times) and average.
-pub fn time_enforcement(
-    sieve: &mut Sieve,
+/// warm-up run, as the paper reports warm times) and average. Generic
+/// over the execution backend so the same timing loop measures the
+/// in-process and wire-SQL paths (Experiment 4's backend comparison).
+pub fn time_enforcement<B: sieve_core::SqlBackend>(
+    sieve: &mut Sieve<B>,
     enforcement: sieve_core::middleware::Enforcement,
     query: &minidb::SelectQuery,
     qm: &QueryMetadata,

@@ -1,0 +1,283 @@
+//! The execution-backend layer.
+//!
+//! The paper deploys SIEVE as *middleware*: the DBMS behind it is a
+//! replaceable component reached through SQL text (stock MySQL or
+//! PostgreSQL, Section 7). [`SqlBackend`] is that seam in code — the
+//! exact surface the middleware needs from an engine, and nothing more:
+//!
+//! * **query execution** ([`SqlBackend::exec`] / [`SqlBackend::exec_timed`])
+//!   with [`ExecOptions`] (timeouts);
+//! * **catalog introspection** ([`SqlBackend::table_entry`],
+//!   [`SqlBackend::has_relation`]) — schemas, indexes, and histograms,
+//!   which guard candidate generation and [`crate::cost::calibrate`]
+//!   consume (a server backend would materialize these from
+//!   `information_schema` + `pg_stats`/`mysql.innodb_index_stats`);
+//! * **UDF installation** ([`SqlBackend::install_udf`]) for the ∆
+//!   operator and Baseline U (the paper's `CREATE FUNCTION` step);
+//! * **administrative DDL/DML** ([`SqlBackend::create_relation`],
+//!   [`SqlBackend::create_relation_index`], [`SqlBackend::insert_row`])
+//!   for the `rP`/`rOC`/`rGE`/`rGG`/`rGP` policy relations of
+//!   Section 5.1.
+//!
+//! Two backends ship:
+//!
+//! * [`MinidbBackend`] — a thin wrapper over the in-process engine; the
+//!   hermetic default ([`crate::Sieve`]'s default type parameter).
+//! * [`WireSqlBackend`] (feature `wire-sql`, on by default) — accepts
+//!   only SQL **text**: every query is rendered with
+//!   [`minidb::sql::render_query`], crosses a simulated wire, and is
+//!   re-parsed before execution. This exercises exactly the path a
+//!   network backend uses, making render fidelity load-bearing.
+//!
+//! A documented [`postgres`]-feature stub records what a real
+//! `tokio-postgres` backend needs; network crates are unavailable in
+//! this build environment.
+//!
+//! Queries travel as SQL text; the administrative surface (catalog reads,
+//! DDL, UDF installation) uses the backend's native channel, as the
+//! paper's middleware does during setup.
+
+use minidb::error::DbResult;
+use minidb::exec::{ExecOptions, QueryResult};
+use minidb::plan::SelectQuery;
+use minidb::schema::TableSchema;
+use minidb::stats::ExecStats;
+use minidb::table::{Row, RowId};
+use minidb::udf::Udf;
+use minidb::{Database, DbProfile, TableEntry};
+use std::sync::Arc;
+
+mod minidb_backend;
+#[cfg(feature = "postgres")]
+mod postgres;
+#[cfg(feature = "wire-sql")]
+mod wire;
+
+pub use minidb_backend::MinidbBackend;
+#[cfg(feature = "postgres")]
+pub use postgres::PostgresBackend;
+#[cfg(feature = "wire-sql")]
+pub use wire::WireSqlBackend;
+
+/// The execution engine behind the middleware, as seen by [`crate::Sieve`].
+///
+/// Object-safe: the middleware holds a concrete `B: SqlBackend`, but the
+/// rewriting/costing free functions take `&dyn SqlBackend` so they need
+/// no generic plumbing (and `&Database` coerces to it directly).
+pub trait SqlBackend {
+    /// Short identifier for diagnostics and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Execute a prepared query.
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult>;
+
+    /// Execute a query and report `(result, stats)` — wall time plus the
+    /// engine's simulated cost clock.
+    fn exec_timed(
+        &self,
+        query: &SelectQuery,
+        opts: &ExecOptions,
+    ) -> (DbResult<QueryResult>, ExecStats);
+
+    /// Catalog entry for a relation: schema, indexes, histograms. Guard
+    /// candidate generation and cost calibration read these; a server
+    /// backend mirrors them locally from the server's catalog views.
+    fn table_entry(&self, name: &str) -> DbResult<&TableEntry>;
+
+    /// True iff a relation with this name exists.
+    fn has_relation(&self, name: &str) -> bool;
+
+    /// Optimizer profile of the engine (drives hint/bitmap behaviour as
+    /// in the paper's Experiment 4).
+    fn engine_profile(&self) -> DbProfile;
+
+    /// Install a UDF (the ∆ operator; Baseline U's policy UDF). The
+    /// paper's equivalent is `CREATE FUNCTION` issued at deploy time.
+    fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>);
+
+    /// Create a relation (idempotence is the caller's concern). Used for
+    /// the policy persistence tables of Section 5.1.
+    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()>;
+
+    /// Create a secondary index over `column` of `table`.
+    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()>;
+
+    /// Insert one row through the administrative channel (policy/guard
+    /// mirroring — not the measured query path).
+    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId>;
+
+    /// The in-process engine behind this backend, if any — the escape
+    /// hatch the reference oracle ([`crate::semantics`]) uses to evaluate
+    /// derived (subquery) policy conditions directly. A true network
+    /// backend returns `None`; oracle checks then treat derived
+    /// conditions as unsatisfied (fail closed) or run against a local
+    /// mirror. Enforcement never calls this.
+    fn minidb(&self) -> Option<&Database> {
+        None
+    }
+}
+
+impl<T: SqlBackend + ?Sized> SqlBackend for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+        (**self).exec(query, opts)
+    }
+    fn exec_timed(
+        &self,
+        query: &SelectQuery,
+        opts: &ExecOptions,
+    ) -> (DbResult<QueryResult>, ExecStats) {
+        (**self).exec_timed(query, opts)
+    }
+    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
+        (**self).table_entry(name)
+    }
+    fn has_relation(&self, name: &str) -> bool {
+        (**self).has_relation(name)
+    }
+    fn engine_profile(&self) -> DbProfile {
+        (**self).engine_profile()
+    }
+    fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
+        (**self).install_udf(name, udf)
+    }
+    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
+        (**self).create_relation(schema)
+    }
+    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
+        (**self).create_relation_index(table, column)
+    }
+    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
+        (**self).insert_row(table, row)
+    }
+    fn minidb(&self) -> Option<&Database> {
+        (**self).minidb()
+    }
+}
+
+/// A bare [`Database`] is itself a backend (the identity wiring): this is
+/// what lets every existing `&Database` call site — oracles, tests,
+/// experiment binaries — coerce straight into the trait surface. Under
+/// [`crate::Sieve`], prefer [`MinidbBackend`], which participates in the
+/// middleware's write-epoch staleness tracking.
+impl SqlBackend for Database {
+    fn name(&self) -> &'static str {
+        "minidb"
+    }
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+        self.run_query_opts(query, opts)
+    }
+    fn exec_timed(
+        &self,
+        query: &SelectQuery,
+        opts: &ExecOptions,
+    ) -> (DbResult<QueryResult>, ExecStats) {
+        self.run_timed(query, opts)
+    }
+    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
+        self.table(name)
+    }
+    fn has_relation(&self, name: &str) -> bool {
+        self.has_table(name)
+    }
+    fn engine_profile(&self) -> DbProfile {
+        self.profile()
+    }
+    fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
+        self.register_udf(name, udf)
+    }
+    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
+        self.create_table(schema)
+    }
+    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
+        self.create_index(table, column)
+    }
+    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
+        self.insert(table, row)
+    }
+    fn minidb(&self) -> Option<&Database> {
+        Some(self)
+    }
+}
+
+/// A boxed backend — the type the backend-matrix test helper hands out so
+/// one closure body serves every backend.
+pub type DynBackend = Box<dyn SqlBackend>;
+
+/// Run `f` once per available backend over a copy of `db` (deep clone per
+/// backend, so mutations never leak across runs). The equivalence and
+/// bypass oracle suites use this to pin the trait seam itself: whatever
+/// they assert must hold for the in-process backend **and** the wire-SQL
+/// backend, with identical results.
+pub fn for_each_backend<F>(db: &Database, options: &crate::SieveOptions, mut f: F)
+where
+    F: FnMut(&'static str, crate::middleware::Sieve<DynBackend>),
+{
+    let mut backends: Vec<(&'static str, DynBackend)> = Vec::new();
+    backends.push(("minidb", Box::new(MinidbBackend::new(db.clone()))));
+    #[cfg(feature = "wire-sql")]
+    backends.push(("wire-sql", Box::new(WireSqlBackend::new(db.clone()))));
+    for (name, backend) in backends {
+        let sieve = crate::middleware::Sieve::with_backend(backend, options.clone())
+            .unwrap_or_else(|e| panic!("backend {name} failed to initialize: {e}"));
+        f(name, sieve);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::value::{DataType, Value};
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        db.create_table(TableSchema::of(
+            "t",
+            &[("id", DataType::Int), ("owner", DataType::Int)],
+        ))
+        .unwrap();
+        for i in 0..10i64 {
+            db.insert("t", vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn database_is_a_backend() {
+        let db = tiny_db();
+        let backend: &dyn SqlBackend = &db;
+        assert_eq!(backend.name(), "minidb");
+        assert!(backend.has_relation("t"));
+        assert!(!backend.has_relation("nope"));
+        let res = backend
+            .exec(&SelectQuery::star_from("t"), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(res.len(), 10);
+        assert_eq!(backend.table_entry("t").unwrap().schema().arity(), 2);
+    }
+
+    #[test]
+    fn boxed_backend_delegates() {
+        let boxed: DynBackend = Box::new(MinidbBackend::new(tiny_db()));
+        assert_eq!(boxed.name(), "minidb");
+        let (res, stats) =
+            boxed.exec_timed(&SelectQuery::star_from("t"), &ExecOptions::default());
+        assert_eq!(res.unwrap().len(), 10);
+        assert!(stats.simulated_cost > 0.0);
+    }
+
+    #[test]
+    fn for_each_backend_visits_every_backend() {
+        let db = tiny_db();
+        let mut seen = Vec::new();
+        for_each_backend(&db, &crate::SieveOptions::default(), |name, sieve| {
+            assert!(sieve.backend().has_relation("t"));
+            seen.push(name);
+        });
+        assert!(seen.contains(&"minidb"));
+        #[cfg(feature = "wire-sql")]
+        assert!(seen.contains(&"wire-sql"));
+    }
+}

@@ -1,0 +1,147 @@
+//! PostgreSQL backend **stub** (feature `postgres`).
+//!
+//! This build environment has no network access and no registry, so a
+//! real server backend cannot be linked. This module pins down the shape
+//! one would take so the work is a fill-in rather than a design exercise.
+//! A real implementation needs:
+//!
+//! * **Transport** — `tokio-postgres` (or `postgres` for the blocking
+//!   variant): [`PostgresBackend::connect`] opens the connection;
+//!   [`super::SqlBackend::exec`] becomes `client.query(&sql, &[])` over
+//!   the text produced by [`minidb::sql::render_query`]. The render
+//!   fidelity that `WireSqlBackend` exercises (guard CTEs, hint stripping
+//!   for PostgreSQL, typed literals) is exactly what crosses this wire.
+//! * **Catalog mirroring** — [`super::SqlBackend::table_entry`] must
+//!   materialize a local [`minidb::TableEntry`] per relation from
+//!   `information_schema.columns` (schema), `pg_indexes` (index set) and
+//!   `pg_stats` (`histogram_bounds`/`n_distinct` → a
+//!   [`minidb::histogram::Histogram`]), refreshed after `ANALYZE`. Guard
+//!   candidate generation and `CostModel::calibrate` consume only this
+//!   mirror, never the server directly.
+//! * **∆ as a server-side function** — [`super::SqlBackend::install_udf`]
+//!   maps to `CREATE FUNCTION sieve_delta(...) RETURNS boolean` (PL/pgSQL
+//!   over the `rP ⋈ rOC` policy tables, as the paper's Section 5.2 UDF),
+//!   since an in-process [`minidb::udf::Udf`] cannot run inside the
+//!   server. The partition registry must therefore write partitions into
+//!   a server table instead of process memory.
+//! * **Hints** — PostgreSQL ignores `FORCE INDEX`; the renderer's output
+//!   must drop hint clauses for this profile (the engine's
+//!   `DbProfile::PostgresLike` models that behaviour today).
+//!
+//! Every method returns [`DbError::Unsupported`] so the feature compiles
+//! and type-checks across the matrix without pretending to run.
+
+use super::SqlBackend;
+use minidb::error::{DbError, DbResult};
+use minidb::exec::{ExecOptions, QueryResult};
+use minidb::plan::SelectQuery;
+use minidb::schema::TableSchema;
+use minidb::stats::ExecStats;
+use minidb::table::{Row, RowId};
+use minidb::udf::Udf;
+use minidb::{DbProfile, TableEntry};
+use std::sync::Arc;
+
+/// Placeholder for a real PostgreSQL connection-backed [`SqlBackend`].
+#[derive(Debug)]
+pub struct PostgresBackend {
+    dsn: String,
+}
+
+fn offline(what: &str) -> DbError {
+    DbError::Unsupported(format!(
+        "postgres backend is a stub (no network crates in this build): {what}"
+    ))
+}
+
+impl PostgresBackend {
+    /// Would open a connection to `dsn`; in the stub it records the DSN
+    /// and fails on first use, so wiring code can be written and tested
+    /// for its error path.
+    pub fn connect(dsn: impl Into<String>) -> Self {
+        PostgresBackend { dsn: dsn.into() }
+    }
+
+    /// The configured connection string.
+    pub fn dsn(&self) -> &str {
+        &self.dsn
+    }
+}
+
+impl SqlBackend for PostgresBackend {
+    fn name(&self) -> &'static str {
+        "postgres-stub"
+    }
+    fn exec(&self, _query: &SelectQuery, _opts: &ExecOptions) -> DbResult<QueryResult> {
+        Err(offline("exec"))
+    }
+    fn exec_timed(
+        &self,
+        _query: &SelectQuery,
+        _opts: &ExecOptions,
+    ) -> (DbResult<QueryResult>, ExecStats) {
+        (
+            Err(offline("exec_timed")),
+            ExecStats {
+                counters: Default::default(),
+                wall: std::time::Duration::ZERO,
+                simulated_cost: 0.0,
+            },
+        )
+    }
+    fn table_entry(&self, _name: &str) -> DbResult<&TableEntry> {
+        Err(offline("table_entry (catalog mirror)"))
+    }
+    fn has_relation(&self, _name: &str) -> bool {
+        false
+    }
+    fn engine_profile(&self) -> DbProfile {
+        DbProfile::PostgresLike
+    }
+    fn install_udf(&mut self, _name: &str, _udf: Arc<dyn Udf>) {
+        // A real backend issues CREATE FUNCTION here; the stub accepts and
+        // drops the registration so Sieve::with_backend can still build a
+        // value whose first *query* reports the offline error.
+    }
+    fn create_relation(&mut self, _schema: TableSchema) -> DbResult<()> {
+        Err(offline("create_relation"))
+    }
+    fn create_relation_index(&mut self, _table: &str, _column: &str) -> DbResult<()> {
+        Err(offline("create_relation_index"))
+    }
+    fn insert_row(&mut self, _table: &str, _row: Row) -> DbResult<RowId> {
+        Err(offline("insert_row"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_is_constructible_but_fails_on_use() {
+        let mut backend = PostgresBackend::connect("postgres://sieve@localhost/sieve");
+        assert_eq!(backend.dsn(), "postgres://sieve@localhost/sieve");
+        assert_eq!(backend.name(), "postgres-stub");
+        assert_eq!(backend.engine_profile(), DbProfile::PostgresLike);
+        assert!(!backend.has_relation("wifi_dataset"));
+        let err = backend.exec(&SelectQuery::star_from("t"), &ExecOptions::default());
+        assert!(matches!(err, Err(DbError::Unsupported(_))));
+        let err = backend.insert_row("t", vec![]);
+        assert!(matches!(err, Err(DbError::Unsupported(_))));
+    }
+
+    #[test]
+    fn stub_builds_under_middleware_and_fails_closed() {
+        let backend = PostgresBackend::connect("postgres://sieve@localhost/sieve");
+        let mut sieve = crate::middleware::Sieve::with_backend(
+            backend,
+            crate::SieveOptions::default(),
+        )
+        .expect("stub backend must initialize (UDF install is a no-op)");
+        sieve.protect("wifi_dataset");
+        let qm = crate::policy::QueryMetadata::new(1, "Any");
+        let res = sieve.execute(&SelectQuery::star_from("wifi_dataset"), &qm);
+        assert!(matches!(res, Err(DbError::Unsupported(_))));
+    }
+}

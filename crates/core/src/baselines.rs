@@ -13,12 +13,13 @@
 //!
 //! All three produce exactly the oracle semantics; only cost differs.
 
+use crate::backend::SqlBackend;
 use crate::delta::{delta_call_expr, DeltaRegistry};
 use crate::policy::Policy;
 use minidb::error::DbResult;
 use minidb::expr::Expr;
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
-use minidb::{Database, SelectItem};
+use minidb::SelectItem;
 
 /// Which baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,13 +94,13 @@ pub fn rewrite_baseline_i(
 /// per-tuple UDF call to the WHERE clause. Returns the rewritten query
 /// (the UDF must already be installed via [`DeltaRegistry::install`]).
 pub fn rewrite_baseline_u(
-    db: &Database,
+    backend: &dyn SqlBackend,
     delta: &DeltaRegistry,
     original: &SelectQuery,
     relation: &str,
     policies: &[&Policy],
 ) -> DbResult<SelectQuery> {
-    let schema = db.table(relation)?.schema();
+    let schema = backend.table_entry(relation)?.schema();
     // Policies with derived conditions cannot go through the UDF; keep
     // them as an inline OR alongside the UDF call.
     let (derived, plain): (Vec<&Policy>, Vec<&Policy>) = policies
@@ -207,7 +208,7 @@ mod tests {
     use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
     use crate::semantics::visible_rows;
     use minidb::value::{DataType, Value};
-    use minidb::{DbProfile, TableSchema};
+    use minidb::{Database, DbProfile, TableSchema};
 
     fn setup() -> (Database, Vec<Policy>) {
         let mut db = Database::new(DbProfile::MySqlLike);

@@ -92,11 +92,18 @@ pub struct CachedGuard {
     pub outdated: bool,
     /// Policies inserted since generation that apply to this key.
     pub pending: Vec<PolicyId>,
+    /// The middleware's backend write-epoch at generation time. An entry
+    /// whose epoch trails the current one was generated against data (or
+    /// a schema) that may have been mutated out-of-band via
+    /// `Sieve::db_mut`/`backend_mut`, so it must be regenerated before
+    /// use — its row estimates, owner-fallback guards and compiled ∆
+    /// partitions are all suspect.
+    pub epoch: u64,
 }
 
 impl CachedGuard {
     /// Fresh entry for a newly generated expression.
-    pub fn new(base: Arc<GuardedExpression>) -> Self {
+    pub fn new(base: Arc<GuardedExpression>, epoch: u64) -> Self {
         CachedGuard {
             effective: Arc::clone(&base),
             base,
@@ -104,6 +111,7 @@ impl CachedGuard {
             fragment: None,
             outdated: false,
             pending: Vec::new(),
+            epoch,
         }
     }
 
@@ -171,8 +179,9 @@ impl GuardCache {
         &mut self,
         key: GuardCacheKey,
         base: Arc<GuardedExpression>,
+        epoch: u64,
     ) -> Vec<crate::delta::PartitionKey> {
-        self.insert_generated_bulk(vec![(key, base)])
+        self.insert_generated_bulk(vec![(key, base)], epoch)
     }
 
     /// Bulk variant of [`GuardCache::insert_generated`] for batched
@@ -189,6 +198,7 @@ impl GuardCache {
     pub fn insert_generated_bulk(
         &mut self,
         items: Vec<(GuardCacheKey, Arc<GuardedExpression>)>,
+        epoch: u64,
     ) -> Vec<crate::delta::PartitionKey> {
         // Dedup repeated keys (last write wins, as serial inserts would)
         // so each key is counted once and the cap arithmetic stays sound.
@@ -220,7 +230,7 @@ impl GuardCache {
             Vec::new()
         };
         for (key, base) in items {
-            let old = self.entries.insert(key, CachedGuard::new(base));
+            let old = self.entries.insert(key, CachedGuard::new(base, epoch));
             if let Some(f) = old.and_then(|e| e.fragment) {
                 freed.extend_from_slice(&f.fragment.delta_keys);
             }
@@ -296,7 +306,7 @@ mod tests {
     #[test]
     fn insert_and_hit_counting() {
         let mut c = GuardCache::new();
-        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
         assert_eq!(c.stats().misses, 1);
         assert!(c.get(&key(1, "r")).is_some());
         c.record_hit();
@@ -306,9 +316,9 @@ mod tests {
     #[test]
     fn invalidate_where_marks_matching_entries() {
         let mut c = GuardCache::new();
-        c.insert_generated(key(1, "r"), ge("r"));
-        c.insert_generated(key(2, "r"), ge("r"));
-        c.insert_generated(key(1, "s"), ge("s"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
+        c.insert_generated(key(2, "r"), ge("r"), 0);
+        c.insert_generated(key(1, "s"), ge("s"), 0);
         let n = c.invalidate_where(42, |(_, _, rel)| rel == "r");
         assert_eq!(n, 2);
         assert!(c.get(&key(1, "r")).unwrap().outdated);
@@ -321,7 +331,7 @@ mod tests {
     fn cap_bounds_entries_and_reports_freed_keys() {
         let mut c = GuardCache::new();
         for i in 0..GUARD_CACHE_CAP as i64 {
-            c.insert_generated(key(i, "r"), ge("r"));
+            c.insert_generated(key(i, "r"), ge("r"), 0);
         }
         assert_eq!(c.len(), GUARD_CACHE_CAP);
         // Give one entry a fragment with a ∆ key so the flush reports it.
@@ -339,10 +349,10 @@ mod tests {
         });
         // A new key at the cap flushes everything (freed keys bubble up);
         // re-inserting an existing key does not.
-        let freed = c.insert_generated(key(1, "r"), ge("r"));
+        let freed = c.insert_generated(key(1, "r"), ge("r"), 0);
         assert!(freed.is_empty());
         assert_eq!(c.len(), GUARD_CACHE_CAP);
-        let freed = c.insert_generated(key(-1, "r"), ge("r"));
+        let freed = c.insert_generated(key(-1, "r"), ge("r"), 0);
         assert_eq!(freed, vec![77]);
         assert_eq!(c.len(), 1);
     }
@@ -350,14 +360,17 @@ mod tests {
     #[test]
     fn bulk_insert_counts_each_entry_once_and_caps_once() {
         let mut c = GuardCache::new();
-        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
         // Bulk over one existing + two new keys: one cap decision, per-key
         // miss/regeneration accounting against the pre-insert state.
-        let freed = c.insert_generated_bulk(vec![
-            (key(1, "r"), ge("r")),
-            (key(2, "r"), ge("r")),
-            (key(3, "r"), ge("r")),
-        ]);
+        let freed = c.insert_generated_bulk(
+            vec![
+                (key(1, "r"), ge("r")),
+                (key(2, "r"), ge("r")),
+                (key(3, "r"), ge("r")),
+            ],
+            0,
+        );
         assert!(freed.is_empty());
         let s = c.stats();
         assert_eq!(s.misses, 3, "1 cold insert + 2 new bulk keys");
@@ -371,7 +384,7 @@ mod tests {
             .map(|i| (key(i, "r"), ge("r")))
             .collect();
         let n = batch.len();
-        c.insert_generated_bulk(batch);
+        c.insert_generated_bulk(batch, 0);
         let s = c.stats();
         assert_eq!(s.evictions, 3, "pre-existing entries purged once");
         assert_eq!(s.misses, 3 + n as u64);
@@ -384,12 +397,15 @@ mod tests {
         // The same key three times plus one distinct: two entries, two
         // misses, no phantom counts — and no cap-arithmetic underflow when
         // duplicates outnumber live entries.
-        let freed = c.insert_generated_bulk(vec![
-            (key(1, "r"), ge("r")),
-            (key(1, "r"), ge("r")),
-            (key(1, "r"), ge("r")),
-            (key(2, "r"), ge("r")),
-        ]);
+        let freed = c.insert_generated_bulk(
+            vec![
+                (key(1, "r"), ge("r")),
+                (key(1, "r"), ge("r")),
+                (key(1, "r"), ge("r")),
+                (key(2, "r"), ge("r")),
+            ],
+            0,
+        );
         assert!(freed.is_empty());
         assert_eq!(c.len(), 2);
         let s = c.stats();
@@ -401,9 +417,9 @@ mod tests {
     #[test]
     fn regeneration_of_existing_key_is_not_a_miss() {
         let mut c = GuardCache::new();
-        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
         c.invalidate_where(9, |_| true);
-        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
         let s = c.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.regenerations, 1);
@@ -412,9 +428,20 @@ mod tests {
     }
 
     #[test]
+    fn entries_record_their_generation_epoch() {
+        let mut c = GuardCache::new();
+        c.insert_generated(key(1, "r"), ge("r"), 3);
+        assert_eq!(c.get(&key(1, "r")).unwrap().epoch, 3);
+        // Regeneration at a later epoch replaces the stamp.
+        c.insert_generated(key(1, "r"), ge("r"), 5);
+        assert_eq!(c.get(&key(1, "r")).unwrap().epoch, 5);
+        assert_eq!(c.stats().regenerations, 1);
+    }
+
+    #[test]
     fn fragment_freshness_tracks_pending_and_mode() {
         let mut c = GuardCache::new();
-        c.insert_generated(key(1, "r"), ge("r"));
+        c.insert_generated(key(1, "r"), ge("r"), 0);
         let e = c.get_mut(&key(1, "r")).unwrap();
         assert!(!e.fragment_fresh(DeltaMode::Auto), "no fragment yet");
         e.fragment = Some(CachedFragment {

@@ -17,11 +17,12 @@
 //! sample policies and tuples" (Section 4) — [`CostModel::calibrate`] does
 //! exactly that against a loaded database.
 
+use crate::backend::SqlBackend;
 use crate::policy::Policy;
 use crate::semantics::{eval_policies, measure_alpha};
 use minidb::stats::CostWeights;
 use minidb::table::ROWS_PER_PAGE;
-use minidb::{Database, DbResult};
+use minidb::DbResult;
 
 /// Calibrated cost constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,13 +191,13 @@ impl StrategyCosts {
 /// loaded table and a policy sample, per Sections 4 and 5.4. Uses the
 /// deterministic simulated clock so calibration is reproducible.
 pub fn calibrate(
-    db: &Database,
+    backend: &dyn SqlBackend,
     table: &str,
     sample_policies: &[&Policy],
     sample_rows: usize,
 ) -> DbResult<CostModel> {
     let mut model = CostModel::default();
-    let entry = db.table(table)?;
+    let entry = backend.table_entry(table)?;
     let schema = entry.schema();
     let rows = entry.table.rows();
     if rows.is_empty() || sample_policies.is_empty() {
@@ -230,7 +231,7 @@ mod tests {
     use super::*;
     use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
     use minidb::value::{DataType, Value};
-    use minidb::{DbProfile, TableSchema};
+    use minidb::{Database, DbProfile, TableSchema};
 
     #[test]
     fn merge_threshold_between_zero_and_one() {

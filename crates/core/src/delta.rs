@@ -16,12 +16,13 @@
 //! guard, passed as a parameter", Section 5.6). The remaining arguments
 //! are the tuple's attributes in schema order.
 
+use crate::backend::SqlBackend;
 use crate::policy::{CondPredicate, Policy, UserId};
 use minidb::error::{DbError, DbResult};
 use minidb::schema::TableSchema;
 use minidb::udf::{Udf, UdfContext};
 use minidb::value::Value;
-use minidb::{Database, RangeBound};
+use minidb::RangeBound;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -101,10 +102,20 @@ impl DeltaRegistry {
         Arc::new(Self::default())
     }
 
-    /// Register the `delta` UDF on a database, backed by this registry.
-    pub fn install(self: &Arc<Self>, db: &mut Database) {
-        let me = Arc::clone(self);
-        db.register_udf(DELTA_UDF, Arc::new(DeltaUdf { registry: me }));
+    /// Register the `delta` UDF on an execution backend, backed by this
+    /// registry (a `&mut Database` coerces — the engine is itself a
+    /// backend). On a real server this step is the paper's
+    /// `CREATE FUNCTION` issued at deploy time.
+    pub fn install(self: &Arc<Self>, backend: &mut dyn SqlBackend) {
+        backend.install_udf(DELTA_UDF, self.udf());
+    }
+
+    /// The ∆ UDF as a registrable value, for callers that wire the engine
+    /// directly rather than through [`DeltaRegistry::install`].
+    pub fn udf(self: &Arc<Self>) -> Arc<dyn Udf> {
+        Arc::new(DeltaUdf {
+            registry: Arc::clone(self),
+        })
     }
 
     /// Compile and register a partition of policies against a relation

@@ -15,8 +15,12 @@
 //!
 //! The [`middleware::Sieve`] façade ties it together: it intercepts a
 //! query plus its metadata, rewrites it ([`rewrite`]) with `WITH` clauses,
-//! index hints and inline-vs-∆ choices, and executes it on the underlying
-//! [`minidb::Database`]. [`baselines`] implements the paper's comparison
+//! index hints and inline-vs-∆ choices, and executes it on a pluggable
+//! execution backend ([`backend::SqlBackend`] — the in-process
+//! [`backend::MinidbBackend`] by default, or the textual
+//! `backend::WireSqlBackend` which ships rendered SQL across a simulated
+//! wire as the paper's middleware does against a real server).
+//! [`baselines`] implements the paper's comparison
 //! strategies and [`semantics`] the reference oracle both are tested
 //! against. [`dynamic`] adds the Section 6 machinery for evolving policy
 //! sets, and [`store`] persists policies and guards as regular relations
@@ -28,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baselines;
 pub mod batch;
 pub mod cache;
@@ -43,6 +48,9 @@ pub mod rewrite;
 pub mod semantics;
 pub mod store;
 
+pub use backend::{MinidbBackend, SqlBackend};
+#[cfg(feature = "wire-sql")]
+pub use backend::WireSqlBackend;
 pub use batch::{BatchGroupReport, BatchPrepareReport};
 pub use cache::{GuardCache, GuardCacheStats};
 pub use cost::{AccessStrategy, CostModel, StrategyCosts};

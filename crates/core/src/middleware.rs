@@ -1,13 +1,23 @@
 //! The SIEVE middleware façade (paper Section 5).
 //!
-//! [`Sieve`] owns the underlying [`Database`] the way the paper's
-//! middleware sits in front of MySQL/PostgreSQL: queries come in with
-//! their metadata, get rewritten against the querier's guarded
-//! expressions, and the rewritten query is executed by the engine.
-//! Policies enter through [`Sieve::add_policy`], which marks affected
-//! guarded expressions outdated; regeneration happens lazily at query
-//! time per the configured [`RegenerationPolicy`] (Sections 5.1 and 6).
+//! [`Sieve`] owns an execution backend ([`SqlBackend`]) the way the
+//! paper's middleware sits in front of MySQL/PostgreSQL: queries come in
+//! with their metadata, get rewritten against the querier's guarded
+//! expressions, and the rewritten query is executed by whatever engine
+//! the backend reaches — the in-process [`MinidbBackend`] by default, or
+//! the textual `WireSqlBackend` that ships rendered SQL across a
+//! simulated wire. Policies enter through [`Sieve::add_policy`], which
+//! marks affected guarded expressions outdated; regeneration happens
+//! lazily at query time per the configured [`RegenerationPolicy`]
+//! (Sections 5.1 and 6).
+//!
+//! Out-of-band engine mutation ([`Sieve::db_mut`] /
+//! [`Sieve::backend_mut`]) bumps a **backend epoch**; cached guards
+//! carry the epoch they were generated under and lazily regenerate once
+//! it trails, so row estimates, owner-fallback guards and compiled ∆
+//! partitions can never act on data mutated underneath them.
 
+use crate::backend::{MinidbBackend, SqlBackend};
 use crate::baselines::{
     rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
 };
@@ -70,9 +80,14 @@ pub enum Enforcement {
     NoPolicies,
 }
 
-/// The middleware.
-pub struct Sieve {
-    db: Database,
+/// The middleware, generic over its execution backend. The default
+/// parameter keeps every pre-existing `Sieve` call site compiling against
+/// the in-process engine.
+pub struct Sieve<B: SqlBackend = MinidbBackend> {
+    backend: B,
+    /// Backend write-epoch: bumped on every mutable backend access, so
+    /// guards generated before an out-of-band write are detectably stale.
+    backend_epoch: u64,
     store: PolicyStore,
     groups: GroupDirectory,
     cost: CostModel,
@@ -88,21 +103,48 @@ pub struct Sieve {
     /// Parsed-SQL cache for [`Sieve::execute_sql`]: repeat textual queries
     /// reuse the AST instead of re-parsing.
     sql_cache: HashMap<String, Arc<SelectQuery>>,
+    /// Insertion order of `sql_cache` keys — FIFO eviction at the cap, so
+    /// a long-lived hot entry survives ~`SQL_CACHE_CAP` insertions rather
+    /// than being an arbitrary hash-order victim every round.
+    sql_cache_order: std::collections::VecDeque<String>,
     /// Guarded-expression generations performed (observability).
     pub generations: u64,
 }
 
-impl Sieve {
-    /// Wrap a database. Installs the ∆ UDF; creates the policy relations
-    /// when persistence is on.
-    pub fn new(mut db: Database, options: SieveOptions) -> DbResult<Self> {
+impl Sieve<MinidbBackend> {
+    /// Wrap an in-process database behind the default backend. Installs
+    /// the ∆ UDF; creates the policy relations when persistence is on.
+    pub fn new(db: Database, options: SieveOptions) -> DbResult<Self> {
+        Self::with_backend(MinidbBackend::new(db), options)
+    }
+
+    /// The wrapped database (read access).
+    pub fn db(&self) -> &Database {
+        self.backend.db()
+    }
+
+    /// The wrapped database (mutable, e.g. for loading data). Bumps the
+    /// backend epoch: guards generated before this access regenerate
+    /// lazily on their next use, since the caller may mutate rows or
+    /// schema underneath them.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.backend_epoch += 1;
+        self.backend.db_mut()
+    }
+}
+
+impl<B: SqlBackend> Sieve<B> {
+    /// Wrap an arbitrary execution backend. Installs the ∆ UDF; creates
+    /// the policy relations when persistence is on.
+    pub fn with_backend(mut backend: B, options: SieveOptions) -> DbResult<Self> {
         let delta = DeltaRegistry::new();
-        delta.install(&mut db);
+        delta.install(&mut backend);
         if options.persist {
-            create_policy_tables(&mut db)?;
+            create_policy_tables(&mut backend)?;
         }
         Ok(Sieve {
-            db,
+            backend,
+            backend_epoch: 0,
             store: PolicyStore::new(),
             groups: GroupDirectory::new(),
             cost: CostModel::default(),
@@ -114,18 +156,27 @@ impl Sieve {
             oc_id: 0,
             baseline_delta_keys: Vec::new(),
             sql_cache: HashMap::new(),
+            sql_cache_order: std::collections::VecDeque::new(),
             generations: 0,
         })
     }
 
-    /// The wrapped database (read access).
-    pub fn db(&self) -> &Database {
-        &self.db
+    /// The execution backend (read access).
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// The wrapped database (mutable, e.g. for loading data).
-    pub fn db_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// The execution backend (mutable). Bumps the backend epoch, exactly
+    /// like [`Sieve::db_mut`]: any cached guard generated before this
+    /// access is treated as stale and regenerated on its next use.
+    pub fn backend_mut(&mut self) -> &mut B {
+        self.backend_epoch += 1;
+        &mut self.backend
+    }
+
+    /// The current backend write-epoch (observability/tests).
+    pub fn backend_epoch(&self) -> u64 {
+        self.backend_epoch
     }
 
     /// Current cost model.
@@ -142,7 +193,7 @@ impl Sieve {
     /// Calibrate the cost model against a loaded table (Section 5.4).
     pub fn calibrate(&mut self, table: &str, sample_rows: usize) -> DbResult<()> {
         let policies: Vec<&Policy> = self.store.iter().take(64).collect();
-        let model = crate::cost::calibrate(&self.db, table, &policies, sample_rows)?;
+        let model = crate::cost::calibrate(&self.backend, table, &policies, sample_rows)?;
         self.cost = model;
         self.invalidate_all();
         Ok(())
@@ -185,7 +236,7 @@ impl Sieve {
         let stored = self.store.get(id).expect("just inserted").clone();
         self.protected.insert(stored.relation.clone());
         if self.options.persist {
-            persist_policy(&mut self.db, &stored, &mut self.oc_id)?;
+            persist_policy(&mut self.backend, &stored, &mut self.oc_id)?;
         }
         // Outdate exactly the cached expressions the policy affects (the
         // precise invalidation path of Section 6's delta machinery).
@@ -253,9 +304,15 @@ impl Sieve {
         Ok((*self.cache.get(&key).expect("refreshed").effective).clone())
     }
 
-    /// True iff an outdated entry is due for regeneration under the
-    /// configured policy (Section 6's threshold for `OptimalRate`).
+    /// True iff the entry must be regenerated before use: its backend
+    /// epoch trails (out-of-band data/schema mutation — a correctness
+    /// hazard that overrides the regeneration policy), or it is outdated
+    /// and due under the configured policy (Section 6's threshold for
+    /// `OptimalRate`).
     fn regeneration_due(&self, c: &CachedGuard) -> bool {
+        if c.epoch != self.backend_epoch {
+            return true;
+        }
         c.outdated
             && match self.options.regeneration {
                 RegenerationPolicy::Immediate => true,
@@ -306,7 +363,9 @@ impl Sieve {
 
         if needs_generation {
             let expr = self.generate(qm, relation)?;
-            let freed = self.cache.insert_generated(key.clone(), Arc::new(expr));
+            let freed =
+                self.cache
+                    .insert_generated(key.clone(), Arc::new(expr), self.backend_epoch);
             self.delta.remove(&freed);
         } else {
             self.cache.record_hit();
@@ -319,7 +378,7 @@ impl Sieve {
         // pending.
         if let Some(pending) = stale_pending {
             let mut expr = (*self.cache.get(&key).expect("present").base).clone();
-            let entry = self.db.table(relation)?;
+            let entry = self.backend.table_entry(relation)?;
             expr.guards.extend(owner_fallback_guards(
                 pending
                     .iter()
@@ -369,7 +428,7 @@ impl Sieve {
         self.delta.remove(&old_keys);
         let by_id = self.store.by_id();
         let fragment = Arc::new(compile_guard_fragment(
-            &self.db,
+            &self.backend,
             &self.delta,
             &effective,
             &by_id,
@@ -391,7 +450,7 @@ impl Sieve {
 
     fn generate(&mut self, qm: &QueryMetadata, relation: &str) -> DbResult<GuardedExpression> {
         let relevant = relevant_policies(self.store.iter(), relation, qm, &self.groups);
-        let entry = self.db.table(relation)?;
+        let entry = self.backend.table_entry(relation)?;
         let expr = generate_guarded_expression(
             &relevant,
             entry,
@@ -403,7 +462,7 @@ impl Sieve {
         );
         self.generations += 1;
         if self.options.persist {
-            persist_guarded_expression(&mut self.db, &expr, false, &mut self.guard_ids)?;
+            persist_guarded_expression(&mut self.backend, &expr, false, &mut self.guard_ids)?;
         }
         Ok(expr)
     }
@@ -425,7 +484,7 @@ impl Sieve {
             let cr = self.compiled_relation(qm, &rel)?;
             compiled.insert(rel, cr);
         }
-        rewrite_query(&self.db, query, &compiled, &self.cost, &self.options.rewrite)
+        rewrite_query(&self.backend, query, &compiled, &self.cost, &self.options.rewrite)
     }
 
     fn exec_options(&self) -> ExecOptions {
@@ -437,7 +496,7 @@ impl Sieve {
     /// Execute a query under SIEVE enforcement.
     pub fn execute(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<QueryResult> {
         let rewritten = self.rewrite(query, qm)?;
-        self.db.run_query_opts(&rewritten.query, &self.exec_options())
+        self.backend.exec(&rewritten.query, &self.exec_options())
     }
 
     /// Execute and time a query under any enforcement mechanism; the
@@ -462,7 +521,7 @@ impl Sieve {
             }
         };
         let opts = self.exec_options();
-        self.db.run_timed(&prepared, &opts)
+        self.backend.exec_timed(&prepared, &opts)
     }
 
     /// Produce the executable query for an enforcement mechanism without
@@ -506,7 +565,7 @@ impl Sieve {
                         Baseline::P => rewrite_baseline_p(&rewritten, &rel, &relevant),
                         Baseline::I => rewrite_baseline_i(&rewritten, &rel, &relevant),
                         Baseline::U => match rewrite_baseline_u(
-                            &self.db,
+                            &self.backend,
                             &self.delta,
                             &rewritten,
                             &rel,
@@ -541,10 +600,29 @@ impl Sieve {
         }
         let q = Arc::new(minidb::sql::parse(sql)?);
         if self.sql_cache.len() >= SQL_CACHE_CAP {
-            self.sql_cache.clear();
+            // Evict the single oldest entry rather than dropping the
+            // whole map: under a churning textual workload a full clear
+            // would re-parse every hot query each `SQL_CACHE_CAP`
+            // insertions, while FIFO eviction keeps the cache pinned at
+            // the cap and guarantees a newly cached query survives the
+            // next `SQL_CACHE_CAP - 1` insertions.
+            if let Some(victim) = self.sql_cache_order.pop_front() {
+                self.sql_cache.remove(&victim);
+            }
         }
         self.sql_cache.insert(sql.to_string(), Arc::clone(&q));
+        self.sql_cache_order.push_back(sql.to_string());
         self.execute(&q, qm)
+    }
+
+    /// Number of parsed-SQL cache entries (observability/tests).
+    pub fn sql_cache_len(&self) -> usize {
+        self.sql_cache.len()
+    }
+
+    /// True iff this exact SQL text is cached (observability/tests).
+    pub fn sql_cache_contains(&self, sql: &str) -> bool {
+        self.sql_cache.contains_key(sql)
     }
 
     /// Warm-populate the guard cache for a batch of concurrent queriers
@@ -584,7 +662,7 @@ impl Sieve {
             if pending.is_empty() {
                 continue;
             }
-            let entry = self.db.table(&relation)?;
+            let entry = self.backend.table_entry(&relation)?;
             let group = crate::batch::build_shared_group(
                 self.store.iter(),
                 &relation,
@@ -618,10 +696,12 @@ impl Sieve {
         }
         if self.options.persist {
             for (_, expr) in &to_insert {
-                persist_guarded_expression(&mut self.db, expr, false, &mut self.guard_ids)?;
+                persist_guarded_expression(&mut self.backend, expr, false, &mut self.guard_ids)?;
             }
         }
-        let freed = self.cache.insert_generated_bulk(to_insert);
+        let freed = self
+            .cache
+            .insert_generated_bulk(to_insert, self.backend_epoch);
         self.delta.remove(&freed);
         Ok(report)
     }
@@ -851,6 +931,86 @@ mod tests {
         // Once protected, the empty policy set denies everything.
         sieve.protect("t");
         assert!(sieve.execute(&q, &qm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_band_insert_regenerates_stale_guards() {
+        let mut sieve = loaded_sieve(DbProfile::MySqlLike);
+        let qm = QueryMetadata::new(500, "Analytics");
+        let q = SelectQuery::star_from("wifi_dataset");
+        let n0 = sieve.execute(&q, &qm).unwrap().len();
+        let gens = sieve.generations;
+        // Re-running is a cache hit.
+        sieve.execute(&q, &qm).unwrap();
+        assert_eq!(sieve.generations, gens);
+        // Out-of-band mutation through db_mut: new rows for owner 0 at the
+        // allowed AP. The cached guard (and its ∆/fragment state) was
+        // generated against the old data; the epoch bump must force lazy
+        // regeneration, and the new rows must be visible.
+        let epoch_before = sieve.backend_epoch();
+        for i in 0..5i64 {
+            sieve
+                .db_mut()
+                .insert(
+                    "wifi_dataset",
+                    vec![
+                        Value::Int(100_000 + i),
+                        Value::Int(0),
+                        Value::Int(1001),
+                        Value::Time(0),
+                    ],
+                )
+                .unwrap();
+        }
+        assert!(sieve.backend_epoch() > epoch_before);
+        let n1 = sieve.execute(&q, &qm).unwrap().len();
+        assert_eq!(n1, n0 + 5, "out-of-band rows must be enforced & visible");
+        assert_eq!(
+            sieve.generations,
+            gens + 1,
+            "stale-epoch entry must regenerate exactly once"
+        );
+        // And only once: the regenerated entry is fresh again.
+        sieve.execute(&q, &qm).unwrap();
+        assert_eq!(sieve.generations, gens + 1);
+    }
+
+    #[test]
+    fn backend_mut_bumps_epoch_like_db_mut() {
+        let mut sieve = loaded_sieve(DbProfile::MySqlLike);
+        let e0 = sieve.backend_epoch();
+        let _ = sieve.backend_mut();
+        let _ = sieve.db_mut();
+        assert_eq!(sieve.backend_epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn sql_cache_evicts_one_entry_not_all() {
+        let mut sieve = loaded_sieve(DbProfile::MySqlLike);
+        let qm = QueryMetadata::new(500, "Analytics");
+        // Churn through more distinct texts than the cache holds: the
+        // cache must stay pinned at the cap (single-entry FIFO eviction),
+        // never empty out the way the old full clear() did.
+        let sql_for = |i: usize| {
+            format!("SELECT * FROM wifi_dataset WHERE wifi_ap = {}", 1000 + i as i64)
+        };
+        for i in 0..(SQL_CACHE_CAP + 50) {
+            sieve.execute_sql(&sql_for(i), &qm).unwrap();
+            let len = sieve.sql_cache_len();
+            assert!(len >= 1, "cache fully emptied at insertion {i}");
+            assert!(len <= SQL_CACHE_CAP, "cache exceeded cap at insertion {i}");
+            if i >= SQL_CACHE_CAP {
+                assert_eq!(
+                    len, SQL_CACHE_CAP,
+                    "churn past the cap must keep the cache full, not wipe it"
+                );
+            }
+        }
+        // FIFO: the survivors are exactly the most recent SQL_CACHE_CAP
+        // texts — a freshly cached query is never the next victim.
+        assert!(!sieve.sql_cache_contains(&sql_for(49)), "oldest must be evicted");
+        assert!(sieve.sql_cache_contains(&sql_for(50)), "cap-th newest must survive");
+        assert!(sieve.sql_cache_contains(&sql_for(SQL_CACHE_CAP + 49)));
     }
 
     #[test]

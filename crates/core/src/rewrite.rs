@@ -35,6 +35,7 @@
 //! protected relation name is a reference to the CTE's (already-mediated)
 //! result, not a fresh read of the base table.
 
+use crate::backend::SqlBackend;
 use crate::cost::{AccessStrategy, CostModel};
 use crate::delta::{delta_call_expr, DeltaRegistry, PartitionKey};
 use crate::guard::GuardedExpression;
@@ -43,7 +44,7 @@ use minidb::error::DbResult;
 use minidb::expr::{ColumnRef, Expr};
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
 use minidb::planner::{best_sargable_probe, classify_predicate};
-use minidb::{Database, Value};
+use minidb::Value;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -145,14 +146,14 @@ pub struct CompiledRelation {
 /// each guard's partition expression (inlining the policy DNF or
 /// registering a ∆ partition per the cost model) exactly once.
 pub fn compile_guard_fragment(
-    db: &Database,
+    backend: &dyn SqlBackend,
     delta: &DeltaRegistry,
     ge: &GuardedExpression,
     by_id: &HashMap<PolicyId, &Policy>,
     cost: &CostModel,
     delta_mode: DeltaMode,
 ) -> DbResult<GuardFragment> {
-    let entry = db.table(&ge.relation)?;
+    let entry = backend.table_entry(&ge.relation)?;
     let schema = entry.schema();
     let mut branches = Vec::with_capacity(ge.guards.len());
     let mut delta_keys = Vec::new();
@@ -206,7 +207,7 @@ pub fn compile_guard_fragment(
 /// Compile fragments for a map of guarded expressions (the one-shot path
 /// used by tests and direct callers without a middleware cache).
 pub fn compile_relations(
-    db: &Database,
+    backend: &dyn SqlBackend,
     delta: &DeltaRegistry,
     guarded: &HashMap<String, GuardedExpression>,
     by_id: &HashMap<PolicyId, &Policy>,
@@ -215,7 +216,7 @@ pub fn compile_relations(
 ) -> DbResult<HashMap<String, CompiledRelation>> {
     let mut out = HashMap::new();
     for (rel, ge) in guarded {
-        let fragment = compile_guard_fragment(db, delta, ge, by_id, cost, delta_mode)?;
+        let fragment = compile_guard_fragment(backend, delta, ge, by_id, cost, delta_mode)?;
         out.insert(
             rel.clone(),
             CompiledRelation {
@@ -361,7 +362,7 @@ pub fn classify_protected_refs(
 /// accumulating the guard WITH clauses and per-relation decisions while
 /// descending through the query tree.
 struct Rewriter<'a> {
-    db: &'a Database,
+    backend: &'a dyn SqlBackend,
     compiled: &'a HashMap<String, CompiledRelation>,
     cost: &'a CostModel,
     opts: &'a RewriteOptions,
@@ -427,8 +428,10 @@ impl Rewriter<'_> {
         let mut table_schemas = Vec::new();
         for tref in &query.from {
             let schema = match &tref.source {
-                TableSource::Named(name) if !scope.contains(name) && self.db.has_table(name) => {
-                    self.db.table(name)?.schema().clone()
+                TableSource::Named(name)
+                    if !scope.contains(name) && self.backend.has_relation(name) =>
+                {
+                    self.backend.table_entry(name)?.schema().clone()
                 }
                 _ => Arc::new(minidb::TableSchema::new(tref.alias.clone(), vec![])),
             };
@@ -565,7 +568,7 @@ impl Rewriter<'_> {
         let cr = self.compiled.get(rel).expect("caller checked membership");
         let ge = &cr.expr;
         let fragment = &cr.fragment;
-        let entry = self.db.table(rel)?;
+        let entry = self.backend.table_entry(rel)?;
 
         // Optimizer estimate for the query predicate (ρ(p), Section 5.5).
         let query_probe = local_bare
@@ -655,7 +658,7 @@ impl Rewriter<'_> {
     fn fresh_name(&mut self, rel: &str) -> String {
         let mut name = format!("{rel}_sieve");
         let mut i = 2;
-        while self.used_names.contains(&name) || self.db.has_table(&name) {
+        while self.used_names.contains(&name) || self.backend.has_relation(&name) {
             name = format!("{rel}_sieve{i}");
             i += 1;
         }
@@ -713,14 +716,14 @@ fn visit_subqueries(e: &Expr, f: &mut impl FnMut(&SelectQuery)) {
 /// prepended ahead of the query's own, so the query's CTE bodies may
 /// reference them.
 pub fn rewrite_query(
-    db: &Database,
+    backend: &dyn SqlBackend,
     original: &SelectQuery,
     compiled: &HashMap<String, CompiledRelation>,
     cost: &CostModel,
     opts: &RewriteOptions,
 ) -> DbResult<RewriteOutput> {
     let mut rw = Rewriter {
-        db,
+        backend,
         compiled,
         cost,
         opts,
@@ -757,7 +760,7 @@ mod tests {
     use crate::guard::{generate_guarded_expression, GuardSelectionStrategy};
     use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
     use minidb::value::DataType;
-    use minidb::{DbProfile, TableSchema};
+    use minidb::{Database, DbProfile, TableSchema};
 
     fn setup() -> (Database, Vec<Policy>) {
         let mut db = Database::new(DbProfile::MySqlLike);

@@ -6,6 +6,7 @@
 //! against it. A tuple is visible iff **some** relevant allow policy's
 //! object conditions all hold (default deny / opt-out).
 
+use crate::backend::SqlBackend;
 use crate::policy::{CondPredicate, ObjectCondition, Policy};
 use minidb::schema::TableSchema;
 use minidb::value::Value;
@@ -22,14 +23,14 @@ pub struct EvalOutcome {
 }
 
 /// Evaluate one object condition against a tuple (schema-resolved).
-/// Derived (subquery) conditions need a database to evaluate and are
-/// delegated to [`eval_condition_with_db`]; without a database they are
-/// conservatively false.
+/// Derived (subquery) conditions need an engine to evaluate — reached
+/// through the backend's in-process escape hatch
+/// ([`SqlBackend::minidb`]); without one they are conservatively false.
 pub fn eval_condition(
     oc: &ObjectCondition,
     schema: &TableSchema,
     row: &Row,
-    db: Option<&Database>,
+    db: Option<&dyn SqlBackend>,
 ) -> bool {
     let Some(idx) = schema.column_index(&oc.attr) else {
         // A condition on a column the tuple does not have cannot hold
@@ -61,7 +62,7 @@ pub fn eval_condition(
             };
             lo_ok && hi_ok
         }
-        CondPredicate::Derived(q) => match db {
+        CondPredicate::Derived(q) => match db.and_then(|b| b.minidb()) {
             Some(db) => eval_derived(v, q, schema, row, db),
             None => false,
         },
@@ -197,7 +198,12 @@ fn substitute_params(
 
 /// Evaluate a tuple against a policy: all object conditions (including the
 /// implied owner condition) must hold.
-pub fn policy_allows(p: &Policy, schema: &TableSchema, row: &Row, db: Option<&Database>) -> bool {
+pub fn policy_allows(
+    p: &Policy,
+    schema: &TableSchema,
+    row: &Row,
+    db: Option<&dyn SqlBackend>,
+) -> bool {
     p.object_conditions()
         .iter()
         .all(|oc| eval_condition(oc, schema, row, db))
@@ -209,7 +215,7 @@ pub fn eval_policies(
     policies: &[&Policy],
     schema: &TableSchema,
     row: &Row,
-    db: Option<&Database>,
+    db: Option<&dyn SqlBackend>,
 ) -> EvalOutcome {
     for (i, p) in policies.iter().enumerate() {
         if policy_allows(p, schema, row, db) {
@@ -226,13 +232,14 @@ pub fn eval_policies(
 }
 
 /// The oracle: all rows of `table` visible under `policies`, by direct
-/// evaluation (no indexes, no guards, no rewriting).
+/// evaluation (no indexes, no guards, no rewriting). Works against any
+/// backend exposing the catalog (a `&Database` coerces).
 pub fn visible_rows(
-    db: &Database,
+    db: &dyn SqlBackend,
     table: &str,
     policies: &[&Policy],
 ) -> minidb::DbResult<Vec<Row>> {
-    let entry = db.table(table)?;
+    let entry = db.table_entry(table)?;
     let schema = entry.schema();
     Ok(entry
         .table
@@ -250,7 +257,7 @@ pub fn measure_alpha(
     policies: &[&Policy],
     schema: &TableSchema,
     rows: &[Row],
-    db: Option<&Database>,
+    db: Option<&dyn SqlBackend>,
 ) -> f64 {
     if policies.is_empty() || rows.is_empty() {
         return 1.0;

@@ -11,12 +11,13 @@
 //! [`PolicyStore`] is the authoritative working set; the tables are its
 //! queryable, durable mirror.
 
+use crate::backend::SqlBackend;
 use crate::policy::{
     CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec, UserId,
 };
 use minidb::error::{DbError, DbResult};
 use minidb::value::{DataType, Value};
-use minidb::{Database, RangeBound, TableSchema};
+use minidb::{RangeBound, TableSchema};
 use std::collections::{BTreeMap, HashMap};
 
 /// Table name for `rP`.
@@ -83,13 +84,13 @@ impl PolicyStore {
     }
 }
 
-/// Create the five persistence relations on a database (idempotent).
-pub fn create_policy_tables(db: &mut Database) -> DbResult<()> {
-    let mk = |db: &mut Database, schema: TableSchema| -> DbResult<()> {
-        if db.has_table(&schema.name) {
+/// Create the five persistence relations on a backend (idempotent).
+pub fn create_policy_tables(db: &mut dyn SqlBackend) -> DbResult<()> {
+    let mk = |db: &mut dyn SqlBackend, schema: TableSchema| -> DbResult<()> {
+        if db.has_relation(&schema.name) {
             Ok(())
         } else {
-            db.create_table(schema)
+            db.create_relation(schema)
         }
     };
     mk(
@@ -156,8 +157,8 @@ pub fn create_policy_tables(db: &mut Database) -> DbResult<()> {
         ),
     )?;
     // Fast policy lookup by querier, as the ∆ implementation requires.
-    db.create_index(RP_TABLE, "querier")?;
-    db.create_index(ROC_TABLE, "policy_id")?;
+    db.create_relation_index(RP_TABLE, "querier")?;
+    db.create_relation_index(ROC_TABLE, "policy_id")?;
     Ok(())
 }
 
@@ -238,12 +239,16 @@ fn encode_condition(oc: &ObjectCondition) -> Vec<(String, String)> {
 
 /// Persist a policy into `rP`/`rOC`. The policy must already carry its id
 /// (i.e. go through [`PolicyStore::add`] first).
-pub fn persist_policy(db: &mut Database, p: &Policy, next_oc_id: &mut i64) -> DbResult<()> {
+pub fn persist_policy(
+    db: &mut dyn SqlBackend,
+    p: &Policy,
+    next_oc_id: &mut i64,
+) -> DbResult<()> {
     let (qt, q) = match &p.querier {
         QuerierSpec::User(u) => ("user", *u),
         QuerierSpec::Group(g) => ("group", *g),
     };
-    db.insert(
+    db.insert_row(
         RP_TABLE,
         vec![
             Value::Int(p.id as i64),
@@ -261,7 +266,7 @@ pub fn persist_policy(db: &mut Database, p: &Policy, next_oc_id: &mut i64) -> Db
     // layout of Section 5.1 has no dedicated table for them).
     for (attr, value) in &p.querier_context {
         *next_oc_id += 1;
-        db.insert(
+        db.insert_row(
             ROC_TABLE,
             vec![
                 Value::Int(*next_oc_id),
@@ -276,7 +281,7 @@ pub fn persist_policy(db: &mut Database, p: &Policy, next_oc_id: &mut i64) -> Db
     for oc in p.object_conditions() {
         for (op, val) in encode_condition(&oc) {
             *next_oc_id += 1;
-            db.insert(
+            db.insert_row(
                 ROC_TABLE,
                 vec![
                     Value::Int(*next_oc_id),
@@ -363,9 +368,9 @@ pub fn decode_conditions(rows: &[(String, String, String)]) -> DbResult<Vec<Obje
 /// Load all policies back from `rP`/`rOC` (round-trip of
 /// [`persist_policy`]). The owner condition row is recognized and folded
 /// back into the policy's `owner` field.
-pub fn load_policies(db: &Database) -> DbResult<Vec<Policy>> {
-    let rp = db.table(RP_TABLE)?;
-    let roc = db.table(ROC_TABLE)?;
+pub fn load_policies(db: &dyn SqlBackend) -> DbResult<Vec<Policy>> {
+    let rp = db.table_entry(RP_TABLE)?;
+    let roc = db.table_entry(ROC_TABLE)?;
     // Group condition rows by policy id.
     let mut conds: HashMap<i64, Vec<(String, String, String)>> = HashMap::new();
     for row in roc.table.rows() {
@@ -418,7 +423,7 @@ pub fn load_policies(db: &Database) -> DbResult<Vec<Policy>> {
 /// Persist a guarded expression (new version) into `rGE`/`rGG`/`rGP`.
 /// Returns the new guarded-expression version id.
 pub fn persist_guarded_expression(
-    db: &mut Database,
+    db: &mut dyn SqlBackend,
     ge: &crate::guard::GuardedExpression,
     outdated: bool,
     ids: &mut GuardTableIds,
@@ -426,7 +431,7 @@ pub fn persist_guarded_expression(
     ids.next_ge += 1;
     let ge_id = ids.next_ge;
     ids.clock += 1;
-    db.insert(
+    db.insert_row(
         RGE_TABLE,
         vec![
             Value::Int(ge_id),
@@ -441,7 +446,7 @@ pub fn persist_guarded_expression(
         ids.next_guard += 1;
         let gid = ids.next_guard;
         for (op, val) in encode_condition(&g.condition) {
-            db.insert(
+            db.insert_row(
                 RGG_TABLE,
                 vec![
                     Value::Int(gid),
@@ -453,7 +458,7 @@ pub fn persist_guarded_expression(
             )?;
         }
         for pid in &g.policies {
-            db.insert(
+            db.insert_row(
                 RGP_TABLE,
                 vec![Value::Int(gid), Value::Int(*pid as i64)],
             )?;
@@ -476,7 +481,7 @@ pub struct GuardTableIds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minidb::DbProfile;
+    use minidb::{Database, DbProfile};
 
     fn sample_policies() -> Vec<Policy> {
         vec![

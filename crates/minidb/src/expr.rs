@@ -201,20 +201,38 @@ impl Expr {
     }
 
     /// Conjunction of many expressions; `TRUE` for an empty list.
+    /// Flattens nested conjunctions like [`Expr::and`], so every
+    /// constructor-built expression is in the same n-ary normal form the
+    /// SQL parser produces — `parse(render(e)) == e` depends on it.
     pub fn all(exprs: Vec<Expr>) -> Expr {
-        match exprs.len() {
+        let mut parts = Vec::new();
+        for e in exprs {
+            match e {
+                Expr::And(mut v) => parts.append(&mut v),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
             0 => Expr::Literal(Value::Bool(true)),
-            1 => exprs.into_iter().next().unwrap(),
-            _ => Expr::And(exprs),
+            1 => parts.into_iter().next().unwrap(),
+            _ => Expr::And(parts),
         }
     }
 
     /// Disjunction of many expressions; `FALSE` for an empty list.
+    /// Flattens nested disjunctions like [`Expr::or`] (see [`Expr::all`]).
     pub fn any(exprs: Vec<Expr>) -> Expr {
-        match exprs.len() {
+        let mut parts = Vec::new();
+        for e in exprs {
+            match e {
+                Expr::Or(mut v) => parts.append(&mut v),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
             0 => Expr::Literal(Value::Bool(false)),
-            1 => exprs.into_iter().next().unwrap(),
-            _ => Expr::Or(exprs),
+            1 => parts.into_iter().next().unwrap(),
+            _ => Expr::Or(parts),
         }
     }
 

@@ -2,22 +2,29 @@
 //! every enforcement mechanism — the three baseline rewrites of the
 //! paper (Baseline I/P/U) and SIEVE's guarded rewrite — returns exactly
 //! the row set of the `semantics::visible_rows` oracle, for several
-//! queriers and purposes on both database profiles.
+//! queriers and purposes on both database profiles, and (the trait-seam
+//! pin) on **every execution backend**: the in-process `MinidbBackend`
+//! and the `WireSqlBackend`, whose queries survive a render → parse
+//! round trip before execution.
 
+use sieve::core::backend::{for_each_backend, DynBackend};
 use sieve::core::baselines::Baseline;
-use sieve::core::middleware::Enforcement;
+use sieve::core::middleware::{Enforcement, Sieve as GenericSieve};
 use sieve::core::policy::{
     CondPredicate, ObjectCondition, Policy, QuerierSpec, QueryMetadata,
 };
 use sieve::core::semantics::visible_rows;
-use sieve::core::{Sieve, SieveOptions};
-use sieve::minidb::{DbProfile, Row, SelectQuery, Value};
+use sieve::core::SieveOptions;
+use sieve::minidb::{Database, DbProfile, Row, SelectQuery, Value};
 use sieve::workload::policy_gen::{generate_policies, PolicyGenConfig};
 use sieve::workload::tippers::{generate as generate_tippers, TippersConfig};
 use sieve::workload::{UserProfile, WIFI_TABLE};
 
-fn campus(profile: DbProfile) -> (Sieve, sieve::workload::TippersDataset) {
-    let mut db = sieve::minidb::Database::new(profile);
+/// The campus fixture, backend-agnostic: the loaded database, the policy
+/// corpus, and the dataset metadata. Each backend run gets its own deep
+/// copy of the database, so nothing leaks across backends.
+fn campus(profile: DbProfile) -> (Database, Vec<Policy>, sieve::workload::TippersDataset) {
+    let mut db = Database::new(profile);
     let ds = generate_tippers(
         &mut db,
         &TippersConfig {
@@ -28,102 +35,139 @@ fn campus(profile: DbProfile) -> (Sieve, sieve::workload::TippersDataset) {
     )
     .unwrap();
     let policies = generate_policies(&ds, &PolicyGenConfig::default());
-    let mut sieve = Sieve::new(db, SieveOptions::default()).unwrap();
-    *sieve.groups_mut() = ds.groups.clone();
-    sieve.add_policies(policies).unwrap();
-    (sieve, ds)
+    (db, policies, ds)
 }
 
-#[test]
-fn all_mechanisms_equal_oracle_on_seeded_campus() {
-    for profile in [DbProfile::MySqlLike, DbProfile::PostgresLike] {
-        let (mut sieve, ds) = campus(profile);
-        let queriers: Vec<i64> = [UserProfile::Faculty, UserProfile::Grad, UserProfile::Visitor]
-            .iter()
-            .filter_map(|p| ds.devices_of(*p).next().map(|d| d.id))
-            .collect();
-        assert!(!queriers.is_empty(), "dataset must contain queriers");
-
-        let q = SelectQuery::star_from(WIFI_TABLE);
-        for querier in &queriers {
-            for purpose in ["Analytics", "Safety"] {
-                let qm = QueryMetadata::new(*querier, purpose);
-                let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-                    sieve.policies(),
-                    WIFI_TABLE,
-                    &qm,
-                    sieve.groups(),
-                );
-                let mut expect: Vec<Row> =
-                    visible_rows(sieve.db(), WIFI_TABLE, &relevant).unwrap();
-                expect.sort();
-                for e in [
-                    Enforcement::Sieve,
-                    Enforcement::Baseline(Baseline::I),
-                    Enforcement::Baseline(Baseline::P),
-                    Enforcement::Baseline(Baseline::U),
-                ] {
-                    let (res, _) = sieve.run_timed(e, &q, &qm);
-                    let mut got = res.expect("mechanism must run").rows;
-                    got.sort();
-                    assert_eq!(
-                        got, expect,
-                        "{e:?} diverged from oracle for querier {querier} / {purpose} on {profile:?}"
-                    );
-                }
-            }
-        }
-
-        // Warm-cache invalidation path: the guard cache is now hot for
-        // every (querier, purpose). Insert a fresh policy per querier and
-        // re-check SIEVE against the oracle — the cached entry must be
-        // invalidated and the regenerated answer must match a cold run.
-        for (i, querier) in queriers.iter().enumerate() {
-            sieve
-                .add_policy(Policy::new(
-                    (1_000 + i) as i64, // an owner with no rows: exercises
-                    WIFI_TABLE,         // invalidation without changing the
-                    QuerierSpec::User(*querier), // visible set
-                    "Analytics",
-                    vec![],
-                ))
-                .unwrap();
-            sieve
-                .add_policy(Policy::new(
-                    *querier, // the querier's own device rows: widens the set
-                    WIFI_TABLE,
-                    QuerierSpec::User(*querier),
-                    "Analytics",
-                    vec![ObjectCondition::new(
-                        "wifi_ap",
-                        CondPredicate::Ne(Value::Int(-1)),
-                    )],
-                ))
-                .unwrap();
-            let qm = QueryMetadata::new(*querier, "Analytics");
+/// The full equivalence check against one ready (policies + groups
+/// registered) sieve. `db` is the oracle's database — identical content
+/// to the sieve's backend (policy persistence is off, so enforcement
+/// never mutates tables).
+fn check_all_mechanisms(
+    backend_name: &str,
+    sieve: &mut GenericSieve<DynBackend>,
+    db: &Database,
+    queriers: &[i64],
+    profile: DbProfile,
+) {
+    let q = SelectQuery::star_from(WIFI_TABLE);
+    for querier in queriers {
+        for purpose in ["Analytics", "Safety"] {
+            let qm = QueryMetadata::new(*querier, purpose);
             let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
                 sieve.policies(),
                 WIFI_TABLE,
                 &qm,
                 sieve.groups(),
             );
-            let mut expect: Vec<Row> =
-                visible_rows(sieve.db(), WIFI_TABLE, &relevant).unwrap();
+            let mut expect: Vec<Row> = visible_rows(db, WIFI_TABLE, &relevant).unwrap();
             expect.sort();
-            let mut warm = sieve.execute(&q, &qm).expect("warm post-insert").rows;
-            warm.sort();
+            for e in [
+                Enforcement::Sieve,
+                Enforcement::Baseline(Baseline::I),
+                Enforcement::Baseline(Baseline::P),
+                Enforcement::Baseline(Baseline::U),
+            ] {
+                let (res, _) = sieve.run_timed(e, &q, &qm);
+                let mut got = res.expect("mechanism must run").rows;
+                got.sort();
+                assert_eq!(
+                    got, expect,
+                    "{e:?} diverged from oracle for querier {querier} / {purpose} \
+                     on {profile:?} via backend {backend_name}"
+                );
+            }
+        }
+    }
+
+    // Warm-cache invalidation path: the guard cache is now hot for
+    // every (querier, purpose). Insert a fresh policy per querier and
+    // re-check SIEVE against the oracle — the cached entry must be
+    // invalidated and the regenerated answer must match a cold run.
+    for (i, querier) in queriers.iter().enumerate() {
+        sieve
+            .add_policy(Policy::new(
+                (1_000 + i) as i64, // an owner with no rows: exercises
+                WIFI_TABLE,         // invalidation without changing the
+                QuerierSpec::User(*querier), // visible set
+                "Analytics",
+                vec![],
+            ))
+            .unwrap();
+        sieve
+            .add_policy(Policy::new(
+                *querier, // the querier's own device rows: widens the set
+                WIFI_TABLE,
+                QuerierSpec::User(*querier),
+                "Analytics",
+                vec![ObjectCondition::new(
+                    "wifi_ap",
+                    CondPredicate::Ne(Value::Int(-1)),
+                )],
+            ))
+            .unwrap();
+        let qm = QueryMetadata::new(*querier, "Analytics");
+        let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+            sieve.policies(),
+            WIFI_TABLE,
+            &qm,
+            sieve.groups(),
+        );
+        let mut expect: Vec<Row> = visible_rows(db, WIFI_TABLE, &relevant).unwrap();
+        expect.sort();
+        let mut warm = sieve.execute(&q, &qm).expect("warm post-insert").rows;
+        warm.sort();
+        assert_eq!(
+            warm, expect,
+            "warm cache diverged from oracle after add_policy for querier \
+             {querier} on {profile:?} via backend {backend_name}"
+        );
+        sieve.invalidate_all();
+        let mut cold = sieve.execute(&q, &qm).expect("cold post-insert").rows;
+        cold.sort();
+        assert_eq!(
+            cold, warm,
+            "cold and warm runs diverged after add_policy for querier \
+             {querier} on {profile:?} via backend {backend_name}"
+        );
+    }
+}
+
+#[test]
+fn all_mechanisms_equal_oracle_on_seeded_campus_for_every_backend() {
+    for profile in [DbProfile::MySqlLike, DbProfile::PostgresLike] {
+        let (db, policies, ds) = campus(profile);
+        let queriers: Vec<i64> = [UserProfile::Faculty, UserProfile::Grad, UserProfile::Visitor]
+            .iter()
+            .filter_map(|p| ds.devices_of(*p).next().map(|d| d.id))
+            .collect();
+        assert!(!queriers.is_empty(), "dataset must contain queriers");
+
+        // Results must be identical across backends, not just oracle-equal
+        // per backend: collect a fingerprint per backend and compare.
+        let mut fingerprints: Vec<(&'static str, Vec<Row>)> = Vec::new();
+        for_each_backend(&db, &SieveOptions::default(), |name, mut sieve| {
+            *sieve.groups_mut() = ds.groups.clone();
+            sieve.add_policies(policies.iter().cloned()).unwrap();
+            check_all_mechanisms(name, &mut sieve, &db, &queriers, profile);
+            let qm = QueryMetadata::new(queriers[0], "Analytics");
+            let mut rows = sieve
+                .execute(&SelectQuery::star_from(WIFI_TABLE), &qm)
+                .expect("fingerprint query")
+                .rows;
+            rows.sort();
+            fingerprints.push((name, rows));
+        });
+        let expected_backends = if cfg!(feature = "wire-sql") { 2 } else { 1 };
+        assert_eq!(
+            fingerprints.len(),
+            expected_backends,
+            "suite must cover every available backend"
+        );
+        for pair in fingerprints.windows(2) {
             assert_eq!(
-                warm, expect,
-                "warm cache diverged from oracle after add_policy for querier \
-                 {querier} on {profile:?}"
-            );
-            sieve.invalidate_all();
-            let mut cold = sieve.execute(&q, &qm).expect("cold post-insert").rows;
-            cold.sort();
-            assert_eq!(
-                cold, warm,
-                "cold and warm runs diverged after add_policy for querier \
-                 {querier} on {profile:?}"
+                pair[0].1, pair[1].1,
+                "backends {} and {} returned different rows on {profile:?}",
+                pair[0].0, pair[1].0
             );
         }
     }

@@ -9,15 +9,21 @@
 //! against a database whose protected table holds exactly the
 //! `visible_rows` of the querier. Whatever rows that returns is what the
 //! rewritten query on the full database must return.
+//!
+//! Every shape runs against **every execution backend** (`minidb`
+//! in-process and `wire-sql`, whose rewritten queries must survive a
+//! render → parse round trip), so the suite pins the `SqlBackend` trait
+//! seam, not just the embedded engine.
 
 use proptest::prelude::*;
+use sieve::core::backend::{for_each_backend, DynBackend};
 use sieve::core::baselines::Baseline;
-use sieve::core::middleware::Enforcement;
+use sieve::core::middleware::{Enforcement, Sieve};
 use sieve::core::policy::{
     CondPredicate, ObjectCondition, Policy, QuerierSpec, QueryMetadata,
 };
 use sieve::core::semantics::visible_rows;
-use sieve::core::{Sieve, SieveOptions};
+use sieve::core::SieveOptions;
 use sieve::minidb::expr::{CmpOp, ColumnRef, Expr};
 use sieve::minidb::plan::{AggFunc, IndexHint, SelectItem, TableRef, TableSource};
 use sieve::minidb::value::DataType;
@@ -48,8 +54,9 @@ fn load_boards(db: &mut Database) {
     }
 }
 
-/// The SIEVE under test: protected wifi table + an unprotected helper.
-fn loaded_sieve() -> Sieve {
+/// The loaded database under test: protected wifi table + an unprotected
+/// helper. Backend-agnostic — each backend run clones it.
+fn loaded_db() -> Database {
     let mut db = Database::new(DbProfile::MySqlLike);
     db.create_table(wifi_schema()).unwrap();
     for i in 0..3000i64 {
@@ -69,11 +76,15 @@ fn loaded_sieve() -> Sieve {
     }
     load_boards(&mut db);
     db.analyze(REL).unwrap();
-    let mut sieve = Sieve::new(db, SieveOptions::default()).unwrap();
-    // Owners 0..15 allow querier 500 to see their rows at AP 1001.
-    for owner in 0..15i64 {
-        sieve
-            .add_policy(Policy::new(
+    db
+}
+
+fn corpus() -> Vec<Policy> {
+    // Owners 0..15 allow querier 500 to see their rows at AP 1001, plus
+    // one unconditional grant so simple shapes return rows.
+    let mut policies: Vec<Policy> = (0..15i64)
+        .map(|owner| {
+            Policy::new(
                 owner,
                 REL,
                 QuerierSpec::User(500),
@@ -82,46 +93,61 @@ fn loaded_sieve() -> Sieve {
                     "wifi_ap",
                     CondPredicate::Eq(Value::Int(1001)),
                 )],
-            ))
-            .unwrap();
-    }
-    // One unconditional grant so simple shapes return rows.
-    sieve
-        .add_policy(Policy::new(17, REL, QuerierSpec::User(500), "Analytics", vec![]))
-        .unwrap();
-    sieve
+            )
+        })
+        .collect();
+    policies.push(Policy::new(17, REL, QuerierSpec::User(500), "Analytics", vec![]));
+    policies
+}
+
+/// Run `f` once per backend against a fully loaded sieve, handing along
+/// the oracle database (same content as the sieve's backend).
+fn for_sieves(mut f: impl FnMut(&'static str, Sieve<DynBackend>, &Database)) {
+    let db = loaded_db();
+    for_each_backend(&db, &SieveOptions::default(), |name, mut sieve| {
+        for p in corpus() {
+            sieve.add_policy(p).unwrap();
+        }
+        f(name, sieve, &db);
+    });
 }
 
 /// A database identical to the sieve's, except the protected table holds
 /// exactly the querier's visible rows. Running the *original* query here
 /// yields the expected output for any query shape.
-fn visible_database(sieve: &Sieve, qm: &QueryMetadata) -> Database {
+fn visible_database(sieve: &Sieve<DynBackend>, db: &Database, qm: &QueryMetadata) -> Database {
     let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
         sieve.policies(),
         REL,
         qm,
         sieve.groups(),
     );
-    let visible = visible_rows(sieve.db(), REL, &relevant).unwrap();
-    let mut db = Database::new(DbProfile::MySqlLike);
-    db.create_table(wifi_schema()).unwrap();
+    let visible = visible_rows(db, REL, &relevant).unwrap();
+    let mut vdb = Database::new(DbProfile::MySqlLike);
+    vdb.create_table(wifi_schema()).unwrap();
     for row in visible {
-        db.insert(REL, row).unwrap();
+        vdb.insert(REL, row).unwrap();
     }
-    load_boards(&mut db);
-    db
+    load_boards(&mut vdb);
+    vdb
 }
 
 /// Assert the sieve's output equals the visible-database oracle for the
 /// same (unrewritten) query. Returns the row count for non-vacuousness
 /// checks at the call site.
-fn assert_enforced(sieve: &mut Sieve, qm: &QueryMetadata, q: &SelectQuery) -> usize {
+fn assert_enforced(
+    backend: &str,
+    sieve: &mut Sieve<DynBackend>,
+    db: &Database,
+    qm: &QueryMetadata,
+    q: &SelectQuery,
+) -> usize {
     let mut got = sieve.execute(q, qm).expect("sieve execute").rows;
     got.sort();
-    let vdb = visible_database(sieve, qm);
+    let vdb = visible_database(sieve, db, qm);
     let mut expect = vdb.run_query(q).expect("oracle execute").rows;
     expect.sort();
-    assert_eq!(got, expect, "enforcement bypass for query {q:?}");
+    assert_eq!(got, expect, "enforcement bypass via {backend} for query {q:?}");
     got.len()
 }
 
@@ -157,230 +183,249 @@ fn count_star(rel: &str) -> SelectQuery {
 
 #[test]
 fn derived_table_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    let q = derived(SelectQuery::star_from(REL), "d");
-    let n = assert_enforced(&mut sieve, &qm, &q);
-    assert!(n > 0, "authorized querier must see rows");
-    // And strictly fewer than the raw table (enforcement actually bit).
-    assert!(n < sieve.db().table(REL).unwrap().table.len());
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        let q = derived(SelectQuery::star_from(REL), "d");
+        let n = assert_enforced(backend, &mut sieve, db, &qm, &q);
+        assert!(n > 0, "authorized querier must see rows");
+        // And strictly fewer than the raw table (enforcement actually bit).
+        assert!(n < db.table(REL).unwrap().table.len());
+    });
 }
 
 #[test]
 fn doubly_nested_derived_table_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    let q = derived(derived(SelectQuery::star_from(REL), "inner1"), "outer1");
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        let q = derived(derived(SelectQuery::star_from(REL), "inner1"), "outer1");
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
+    });
 }
 
 #[test]
 fn with_body_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    let q = SelectQuery::star_from("v").with_clause("v", SelectQuery::star_from(REL));
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        let q = SelectQuery::star_from("v").with_clause("v", SelectQuery::star_from(REL));
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
+    });
 }
 
 #[test]
 fn scalar_subquery_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // boards rows whose k is below the number of *visible* wifi rows: the
-    // unguarded COUNT would see all 3000 rows and return every board.
-    let q = SelectQuery::star_from("boards").filter(Expr::Cmp {
-        op: CmpOp::Lt,
-        lhs: Box::new(Expr::Column(ColumnRef::bare("k"))),
-        rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // boards rows whose k is below the number of *visible* wifi rows:
+        // the unguarded COUNT would see all 3000 rows and return every
+        // board.
+        let q = SelectQuery::star_from("boards").filter(Expr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(Expr::Column(ColumnRef::bare("k"))),
+            rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
+        });
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
     });
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
 }
 
 #[test]
 fn scalar_subquery_in_protected_query_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // Both the outer read and the aggregate feeding its predicate are
-    // protected reads.
-    let max_owner = SelectQuery {
-        select: vec![SelectItem::Aggregate {
-            func: AggFunc::Max,
-            column: Some(ColumnRef::bare("owner")),
-            alias: Some("m".into()),
-        }],
-        ..SelectQuery::star_from(REL)
-    };
-    let q = SelectQuery::star_from(REL).filter(Expr::Cmp {
-        op: CmpOp::Eq,
-        lhs: Box::new(Expr::Column(ColumnRef::bare("owner"))),
-        rhs: Box::new(Expr::ScalarSubquery(Box::new(max_owner))),
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // Both the outer read and the aggregate feeding its predicate are
+        // protected reads.
+        let max_owner = SelectQuery {
+            select: vec![SelectItem::Aggregate {
+                func: AggFunc::Max,
+                column: Some(ColumnRef::bare("owner")),
+                alias: Some("m".into()),
+            }],
+            ..SelectQuery::star_from(REL)
+        };
+        let q = SelectQuery::star_from(REL).filter(Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(Expr::Column(ColumnRef::bare("owner"))),
+            rhs: Box::new(Expr::ScalarSubquery(Box::new(max_owner))),
+        });
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
     });
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
 }
 
 #[test]
 fn cte_shadowing_protected_name_resolves_to_cte() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // The WITH body reads the protected base table (must be guarded); the
-    // main body's `wifi_dataset` is the CTE, not a second base read.
-    let body = SelectQuery::star_from(REL).filter(Expr::col_eq(
-        ColumnRef::bare("wifi_ap"),
-        Value::Int(1001),
-    ));
-    let q = SelectQuery::star_from(REL).with_clause(REL, body);
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // The WITH body reads the protected base table (must be guarded);
+        // the main body's `wifi_dataset` is the CTE, not a second base
+        // read.
+        let body = SelectQuery::star_from(REL).filter(Expr::col_eq(
+            ColumnRef::bare("wifi_ap"),
+            Value::Int(1001),
+        ));
+        let q = SelectQuery::star_from(REL).with_clause(REL, body);
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
+    });
 }
 
 #[test]
 fn cte_shadowing_without_protected_read_stays_untouched() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // A CTE named like the protected relation but reading only the
-    // unprotected helper: nothing here is access-controlled, and treating
-    // the CTE reference as the base table would be wrong in both
-    // directions.
-    let q = SelectQuery::star_from(REL).with_clause(REL, SelectQuery::star_from("boards"));
-    let rows = sieve.execute(&q, &qm).unwrap().rows;
-    assert_eq!(rows.len(), 64, "CTE result replaced the protected name");
-    assert_eq!(sieve.generations, 0, "no guard generation for a CTE read");
+    for_sieves(|backend, mut sieve, _db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // A CTE named like the protected relation but reading only the
+        // unprotected helper: nothing here is access-controlled, and
+        // treating the CTE reference as the base table would be wrong in
+        // both directions.
+        let q =
+            SelectQuery::star_from(REL).with_clause(REL, SelectQuery::star_from("boards"));
+        let rows = sieve.execute(&q, &qm).unwrap().rows;
+        assert_eq!(
+            rows.len(),
+            64,
+            "CTE result replaced the protected name via {backend}"
+        );
+        assert_eq!(sieve.generations, 0, "no guard generation for a CTE read");
+    });
 }
 
 #[test]
 fn with_clause_referencing_guarded_base_and_join() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // The relation is read twice — once in a CTE body, once in the main
-    // body — so the guard CTE is shared and no pushdown applies.
-    let body = SelectQuery::star_from(REL).filter(Expr::col_eq(
-        ColumnRef::bare("wifi_ap"),
-        Value::Int(1001),
-    ));
-    let q = SelectQuery {
-        with: vec![],
-        select: vec![SelectItem::Star],
-        from: vec![
-            TableRef::aliased(REL, "w"),
-            TableRef::aliased("v", "v"),
-        ],
-        predicate: Some(Expr::Cmp {
-            op: CmpOp::Eq,
-            lhs: Box::new(Expr::Column(ColumnRef::qualified("w", "id"))),
-            rhs: Box::new(Expr::Column(ColumnRef::qualified("v", "id"))),
-        }),
-        group_by: vec![],
-        limit: None,
-    }
-    .with_clause("v", body);
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // The relation is read twice — once in a CTE body, once in the
+        // main body — so the guard CTE is shared and no pushdown applies.
+        let body = SelectQuery::star_from(REL).filter(Expr::col_eq(
+            ColumnRef::bare("wifi_ap"),
+            Value::Int(1001),
+        ));
+        let q = SelectQuery {
+            with: vec![],
+            select: vec![SelectItem::Star],
+            from: vec![
+                TableRef::aliased(REL, "w"),
+                TableRef::aliased("v", "v"),
+            ],
+            predicate: Some(Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::Column(ColumnRef::qualified("w", "id"))),
+                rhs: Box::new(Expr::Column(ColumnRef::qualified("v", "id"))),
+            }),
+            group_by: vec![],
+            limit: None,
+        }
+        .with_clause("v", body);
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
+    });
 }
 
 #[test]
 fn nested_combination_with_derived_and_scalar_subquery() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    // WITH a AS (SELECT * FROM (SELECT * FROM wifi)) SELECT * FROM a
-    // WHERE owner <= (SELECT MAX(owner) FROM wifi)
-    let max_owner = SelectQuery {
-        select: vec![SelectItem::Aggregate {
-            func: AggFunc::Max,
-            column: Some(ColumnRef::bare("owner")),
-            alias: Some("m".into()),
-        }],
-        ..SelectQuery::star_from(REL)
-    };
-    let q = SelectQuery::star_from("a")
-        .with_clause("a", derived(SelectQuery::star_from(REL), "z"))
-        .filter(Expr::Cmp {
-            op: CmpOp::Le,
-            lhs: Box::new(Expr::Column(ColumnRef::bare("owner"))),
-            rhs: Box::new(Expr::ScalarSubquery(Box::new(max_owner))),
-        });
-    assert!(assert_enforced(&mut sieve, &qm, &q) > 0);
+    for_sieves(|backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        // WITH a AS (SELECT * FROM (SELECT * FROM wifi)) SELECT * FROM a
+        // WHERE owner <= (SELECT MAX(owner) FROM wifi)
+        let max_owner = SelectQuery {
+            select: vec![SelectItem::Aggregate {
+                func: AggFunc::Max,
+                column: Some(ColumnRef::bare("owner")),
+                alias: Some("m".into()),
+            }],
+            ..SelectQuery::star_from(REL)
+        };
+        let q = SelectQuery::star_from("a")
+            .with_clause("a", derived(SelectQuery::star_from(REL), "z"))
+            .filter(Expr::Cmp {
+                op: CmpOp::Le,
+                lhs: Box::new(Expr::Column(ColumnRef::bare("owner"))),
+                rhs: Box::new(Expr::ScalarSubquery(Box::new(max_owner))),
+            });
+        assert!(assert_enforced(backend, &mut sieve, db, &qm, &q) > 0);
+    });
 }
 
 #[test]
 fn unauthorized_querier_sees_nothing_through_nesting() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(999, "Analytics");
-    for q in [
-        derived(SelectQuery::star_from(REL), "d"),
-        SelectQuery::star_from("v").with_clause("v", SelectQuery::star_from(REL)),
-        SelectQuery::star_from(REL).with_clause(
-            REL,
-            SelectQuery::star_from(REL),
-        ),
-    ] {
-        assert!(
-            sieve.execute(&q, &qm).unwrap().is_empty(),
-            "unauthorized rows leaked through {q:?}"
-        );
-    }
-    // The scalar-subquery COUNT must observe zero visible rows.
-    let q = SelectQuery::star_from("boards").filter(Expr::Cmp {
-        op: CmpOp::Lt,
-        lhs: Box::new(Expr::Column(ColumnRef::bare("k"))),
-        rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
+    for_sieves(|backend, mut sieve, _db| {
+        let qm = QueryMetadata::new(999, "Analytics");
+        for q in [
+            derived(SelectQuery::star_from(REL), "d"),
+            SelectQuery::star_from("v").with_clause("v", SelectQuery::star_from(REL)),
+            SelectQuery::star_from(REL).with_clause(REL, SelectQuery::star_from(REL)),
+        ] {
+            assert!(
+                sieve.execute(&q, &qm).unwrap().is_empty(),
+                "unauthorized rows leaked through {q:?} via {backend}"
+            );
+        }
+        // The scalar-subquery COUNT must observe zero visible rows.
+        let q = SelectQuery::star_from("boards").filter(Expr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(Expr::Column(ColumnRef::bare("k"))),
+            rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
+        });
+        assert!(sieve.execute(&q, &qm).unwrap().is_empty());
     });
-    assert!(sieve.execute(&q, &qm).unwrap().is_empty());
 }
 
 #[test]
 fn sql_text_round_trip_is_guarded() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    let res = sieve
-        .execute_sql(
-            "SELECT COUNT(*) AS n FROM (SELECT * FROM wifi_dataset) d",
+    for_sieves(|_backend, mut sieve, db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        let res = sieve
+            .execute_sql(
+                "SELECT COUNT(*) AS n FROM (SELECT * FROM wifi_dataset) d",
+                &qm,
+            )
+            .unwrap();
+        let n = res.rows[0][0].as_int().unwrap();
+        let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+            sieve.policies(),
+            REL,
             &qm,
-        )
-        .unwrap();
-    let n = res.rows[0][0].as_int().unwrap();
-    let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-        sieve.policies(),
-        REL,
-        &qm,
-        sieve.groups(),
-    );
-    let expect = visible_rows(sieve.db(), REL, &relevant).unwrap().len() as i64;
-    assert_eq!(n, expect);
-    assert!(n > 0);
+            sieve.groups(),
+        );
+        let expect = visible_rows(db, REL, &relevant).unwrap().len() as i64;
+        assert_eq!(n, expect);
+        assert!(n > 0);
+    });
 }
 
 #[test]
 fn baselines_fail_closed_on_nested_reads() {
-    let mut sieve = loaded_sieve();
-    let qm = QueryMetadata::new(500, "Analytics");
-    let nested = derived(SelectQuery::star_from(REL), "d");
-    // A relation read BOTH top-level and nested: the top-level filter
-    // would attach, but the scalar-subquery COUNT would still read every
-    // base row — the overlap must refuse too, not slip past the gate.
-    let overlap = SelectQuery::star_from(REL).filter(Expr::Cmp {
-        op: CmpOp::Lt,
-        lhs: Box::new(Expr::Column(ColumnRef::bare("id"))),
-        rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
-    });
-    for q in [&nested, &overlap] {
-        for b in [Baseline::P, Baseline::I, Baseline::U] {
-            let err = sieve.prepare(Enforcement::Baseline(b), q, &qm);
-            assert!(
-                err.is_err(),
-                "baseline {b:?} must refuse nested protected reads, not bypass them"
-            );
+    for_sieves(|backend, mut sieve, _db| {
+        let qm = QueryMetadata::new(500, "Analytics");
+        let nested = derived(SelectQuery::star_from(REL), "d");
+        // A relation read BOTH top-level and nested: the top-level filter
+        // would attach, but the scalar-subquery COUNT would still read
+        // every base row — the overlap must refuse too, not slip past the
+        // gate.
+        let overlap = SelectQuery::star_from(REL).filter(Expr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(Expr::Column(ColumnRef::bare("id"))),
+            rhs: Box::new(Expr::ScalarSubquery(Box::new(count_star(REL)))),
+        });
+        for q in [&nested, &overlap] {
+            for b in [Baseline::P, Baseline::I, Baseline::U] {
+                let err = sieve.prepare(Enforcement::Baseline(b), q, &qm);
+                assert!(
+                    err.is_err(),
+                    "baseline {b:?} via {backend} must refuse nested protected \
+                     reads, not bypass them"
+                );
+            }
         }
-    }
-    // Top-level reads still work (including under a CTE that shadows the
-    // protected name with an unprotected body... which is a nested-scope
-    // question the baselines never see).
-    let top = SelectQuery::star_from(REL);
-    for b in [Baseline::P, Baseline::I, Baseline::U] {
-        assert!(sieve.prepare(Enforcement::Baseline(b), &top, &qm).is_ok());
-    }
+        // Top-level reads still work (including under a CTE that shadows
+        // the protected name with an unprotected body... which is a
+        // nested-scope question the baselines never see).
+        let top = SelectQuery::star_from(REL);
+        for b in [Baseline::P, Baseline::I, Baseline::U] {
+            assert!(sieve.prepare(Enforcement::Baseline(b), &top, &qm).is_ok());
+        }
+    });
 }
 
 /// Random nesting: wrap the protected scan in 0..4 layers of derived
 /// tables / fresh CTEs / shadowing CTEs, optionally adding a correlated-
-/// free scalar-subquery predicate, and check the visible-database oracle.
+/// free scalar-subquery predicate, and check the visible-database oracle
+/// on every backend.
 #[derive(Debug, Clone)]
 struct Nesting {
     wraps: Vec<u8>,
@@ -440,21 +485,27 @@ proptest! {
         nesting in arb_nesting(),
         authorized in any::<bool>(),
     ) {
-        let mut sieve = loaded_sieve();
         let qm = QueryMetadata::new(if authorized { 500 } else { 901 }, "Analytics");
         let q = build_nested(&nesting);
-        let mut got = sieve.execute(&q, &qm).expect("sieve execute").rows;
-        got.sort();
-        let vdb = visible_database(&sieve, &qm);
-        let mut expect = vdb.run_query(&q).expect("oracle execute").rows;
-        expect.sort();
-        prop_assert_eq!(&got, &expect, "nesting {:?}", nesting);
-        if !authorized {
-            let leaked: Vec<&Row> = got
-                .iter()
-                .filter(|r| r.len() == 4) // wifi-shaped rows
-                .collect();
-            prop_assert!(leaked.is_empty(), "unauthorized querier saw rows");
+        let mut per_backend: Vec<Vec<Row>> = Vec::new();
+        for_sieves(|name, mut sieve, db| {
+            let mut got = sieve.execute(&q, &qm).expect("sieve execute").rows;
+            got.sort();
+            let vdb = visible_database(&sieve, db, &qm);
+            let mut expect = vdb.run_query(&q).expect("oracle execute").rows;
+            expect.sort();
+            assert_eq!(&got, &expect, "nesting {nesting:?} via backend {name}");
+            if !authorized {
+                let leaked: Vec<&Row> = got
+                    .iter()
+                    .filter(|r| r.len() == 4) // wifi-shaped rows
+                    .collect();
+                assert!(leaked.is_empty(), "unauthorized querier saw rows via {name}");
+            }
+            per_backend.push(got);
+        });
+        for pair in per_backend.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1], "backends disagree on {:?}", nesting);
         }
     }
 }
