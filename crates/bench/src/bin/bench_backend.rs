@@ -111,7 +111,8 @@ fn main() {
         sieve_workload::Selectivity::Low,
         7,
     );
-    let base_db: &Database = campus.sieve.db();
+    let base_db: Database = campus.sieve.db().clone();
+    let base_db = &base_db;
     let options = SieveOptions::default();
 
     // ---- In-process baseline.

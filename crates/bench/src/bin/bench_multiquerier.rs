@@ -80,13 +80,13 @@ fn main() {
 
     // ---- 1. Sequential per-querier preparation (cold cache).
     campus.sieve.invalidate_all();
-    let seq_gens_before = campus.sieve.generations;
+    let seq_gens_before = campus.sieve.generations();
     let t0 = Instant::now();
     for (qm, q) in &requests {
         campus.sieve.rewrite(q, qm).expect("sequential rewrite");
     }
     let seq_prepare_ms = ms(t0.elapsed());
-    let seq_generations = campus.sieve.generations - seq_gens_before;
+    let seq_generations = campus.sieve.generations() - seq_gens_before;
     let mut seq_rows: Vec<Vec<minidb::Row>> = Vec::with_capacity(requests.len());
     for (qm, q) in &requests {
         let mut rows = campus.sieve.execute(q, qm).expect("sequential execute").rows;
@@ -96,7 +96,7 @@ fn main() {
 
     // ---- 2. Batched preparation of the identical requests (cold cache).
     campus.sieve.invalidate_all();
-    let gens_before = campus.sieve.generations;
+    let gens_before = campus.sieve.generations();
     let t0 = Instant::now();
     let report = campus.sieve.prepare_batch(&requests).expect("prepare_batch");
     let batch_gen_ms = ms(t0.elapsed());
@@ -106,7 +106,7 @@ fn main() {
     }
     let batch_rewrite_ms = ms(t0.elapsed());
     let batch_prepare_ms = batch_gen_ms + batch_rewrite_ms;
-    let batch_generations = campus.sieve.generations - gens_before;
+    let batch_generations = campus.sieve.generations() - gens_before;
 
     let mut equal = true;
     for ((qm, q), expect) in requests.iter().zip(&seq_rows) {

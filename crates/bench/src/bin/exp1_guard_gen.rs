@@ -38,7 +38,7 @@ fn main() {
     );
 
     let campus = build_campus(DbProfile::MySqlLike, &env);
-    let db = campus.sieve.db();
+    let db = campus.sieve.db().clone();
     let entry = db.table(WIFI_TABLE).expect("wifi table");
     let table_rows = entry.table.len() as f64;
 
@@ -84,7 +84,7 @@ fn main() {
             campus.policies.iter(),
             WIFI_TABLE,
             &qm,
-            campus.sieve.groups(),
+            &campus.sieve.groups(),
         );
         if relevant.is_empty() {
             continue;
@@ -164,7 +164,7 @@ fn main() {
                 campus.policies.iter(),
                 WIFI_TABLE,
                 &qm,
-                campus.sieve.groups(),
+                &campus.sieve.groups(),
             );
             if relevant.len() < size {
                 continue;

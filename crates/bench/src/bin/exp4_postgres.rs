@@ -148,7 +148,11 @@ fn main() {
         ("SIEVE(P)", DbProfile::PostgresLike, Enforcement::Sieve),
     ];
 
-    let base_db = campus.sieve.db();
+    // Snapshot engine + groups out of the middleware so the per-subset
+    // runs below work from plain owned state.
+    let base_db = campus.sieve.db().clone();
+    let base_db = &base_db;
+    let groups = campus.sieve.groups().clone();
     let mut rows_out = Vec::new();
     for &size in &sizes {
         let mut cells: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
@@ -159,7 +163,7 @@ fn main() {
                 campus.policies.iter(),
                 WIFI_TABLE,
                 &qm,
-                campus.sieve.groups(),
+                &groups,
             );
             // Three random samples per size, as in the paper.
             for sample in 0..3u64 {
@@ -174,7 +178,7 @@ fn main() {
                 for (si, (_, profile, enforcement)) in strategies.iter().enumerate() {
                     if let Some(v) = run_subset(
                         base_db,
-                        campus.sieve.groups(),
+                        &groups,
                         *profile,
                         subset,
                         *enforcement,
@@ -185,7 +189,7 @@ fn main() {
                     }
                 }
                 if let Some(v) =
-                    run_subset_wire(base_db, campus.sieve.groups(), subset, &qm, &env)
+                    run_subset_wire(base_db, &groups, subset, &qm, &env)
                 {
                     wire_cells.push(v);
                 }

@@ -115,9 +115,10 @@ fn main() {
         campus.policies.iter(),
         sieve_workload::WIFI_TABLE,
         &qm,
-        campus.sieve.groups(),
+        &campus.sieve.groups(),
     );
-    let entry = campus.sieve.db().table(sieve_workload::WIFI_TABLE).unwrap();
+    let db = campus.sieve.db();
+    let entry = db.table(sieve_workload::WIFI_TABLE).unwrap();
     let with_merge = sieve_core::guard::generate_guarded_expression(
         &relevant,
         entry,

@@ -85,7 +85,7 @@ pub fn build_campus(profile: DbProfile, env: &EnvConfig) -> Campus {
         .expect("register policies");
     // Re-collect with the store-assigned ids so direct guard generation
     // (Experiment 1) sees distinct policy identities.
-    let policies = sieve.policies().cloned().collect();
+    let policies = sieve.policies();
     Campus {
         sieve,
         dataset,
@@ -100,7 +100,7 @@ pub fn querier_policy_count(campus: &Campus, querier: UserId, purpose: &str) -> 
         campus.policies.iter(),
         sieve_workload::WIFI_TABLE,
         &qm,
-        campus.sieve.groups(),
+        &campus.sieve.groups(),
     )
     .len()
 }

@@ -59,12 +59,18 @@ pub use postgres::PostgresBackend;
 #[cfg(feature = "wire-sql")]
 pub use wire::WireSqlBackend;
 
-/// The execution engine behind the middleware, as seen by [`crate::Sieve`].
+/// The execution engine behind the middleware, as seen by [`crate::Sieve`]
+/// and the concurrent [`crate::service::SieveService`].
 ///
 /// Object-safe: the middleware holds a concrete `B: SqlBackend`, but the
 /// rewriting/costing free functions take `&dyn SqlBackend` so they need
 /// no generic plumbing (and `&Database` coerces to it directly).
-pub trait SqlBackend {
+///
+/// `Send + Sync` is a supertrait: the service shares one backend across
+/// every connection thread behind a read-write lock, with concurrent
+/// queries executing through `&self` — an engine that cannot cross or be
+/// shared between threads cannot back a concurrent middleware.
+pub trait SqlBackend: Send + Sync {
     /// Short identifier for diagnostics and bench labels.
     fn name(&self) -> &'static str;
 

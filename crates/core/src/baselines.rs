@@ -14,7 +14,7 @@
 //! All three produce exactly the oracle semantics; only cost differs.
 
 use crate::backend::SqlBackend;
-use crate::delta::{delta_call_expr, DeltaRegistry};
+use crate::delta::{delta_call_expr, DeltaRegistry, PartitionHandle};
 use crate::policy::Policy;
 use minidb::error::DbResult;
 use minidb::expr::Expr;
@@ -92,14 +92,16 @@ pub fn rewrite_baseline_i(
 
 /// BaselineU: register all policies as a single ∆ partition and append a
 /// per-tuple UDF call to the WHERE clause. Returns the rewritten query
-/// (the UDF must already be installed via [`DeltaRegistry::install`]).
+/// plus the RAII handles pinning the partitions it references — the query
+/// is executable for exactly as long as the handles are alive (the UDF
+/// must already be installed via [`DeltaRegistry::install`]).
 pub fn rewrite_baseline_u(
     backend: &dyn SqlBackend,
-    delta: &DeltaRegistry,
+    delta: &std::sync::Arc<DeltaRegistry>,
     original: &SelectQuery,
     relation: &str,
     policies: &[&Policy],
-) -> DbResult<SelectQuery> {
+) -> DbResult<(SelectQuery, Vec<PartitionHandle>)> {
     let schema = backend.table_entry(relation)?.schema();
     // Policies with derived conditions cannot go through the UDF; keep
     // them as an inline OR alongside the UDF call.
@@ -107,15 +109,20 @@ pub fn rewrite_baseline_u(
         .iter()
         .partition(|p| p.has_derived_condition());
     let mut parts = Vec::new();
+    let mut handles = Vec::new();
     if !plain.is_empty() {
-        let key = delta.register_partition(schema, &plain)?;
-        parts.push(delta_call_expr(key, schema));
+        let handle = delta.register_partition(schema, &plain)?;
+        parts.push(delta_call_expr(handle.key(), schema));
+        handles.push(handle);
     }
     if !derived.is_empty() {
         parts.push(crate::policy::policy_expression(&derived));
     }
     let filter = Expr::any(parts);
-    Ok(attach_policy_filter(original, relation, filter, IndexHint::None))
+    Ok((
+        attach_policy_filter(original, relation, filter, IndexHint::None),
+        handles,
+    ))
 }
 
 /// AND a policy filter onto the conjuncts applying to `relation`,
@@ -263,7 +270,7 @@ mod tests {
 
         let qp = rewrite_baseline_p(&q, "wifi_dataset", &refs);
         let qi = rewrite_baseline_i(&q, "wifi_dataset", &refs);
-        let qu = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &refs).unwrap();
+        let (qu, _pins) = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &refs).unwrap();
         for (name, rq) in [("P", qp), ("I", qi), ("U", qu)] {
             let mut rows = db.run_query(&rq).unwrap().rows;
             rows.sort();
@@ -315,7 +322,7 @@ mod tests {
         let q = SelectQuery::star_from("wifi_dataset");
         let qp = rewrite_baseline_p(&q, "wifi_dataset", &[]);
         assert!(db.run_query(&qp).unwrap().is_empty());
-        let qu = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &[]).unwrap();
+        let (qu, _pins) = rewrite_baseline_u(&db, &delta, &q, "wifi_dataset", &[]).unwrap();
         assert!(db.run_query(&qu).unwrap().is_empty());
     }
 }

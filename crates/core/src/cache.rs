@@ -1,4 +1,4 @@
-//! The compile-once guard cache.
+//! The compile-once guard cache — concurrent edition.
 //!
 //! Guarded-expression generation (candidate merging + set cover) and
 //! rewrite-fragment compilation (policy DNF construction, ∆ partition
@@ -7,14 +7,37 @@
 //! relation)` — not on the query — so [`GuardCache`] stores both per key
 //! and the middleware's hot path reduces to a hash lookup plus cheap
 //! per-query assembly. Entries are invalidated precisely through
-//! [`crate::middleware::Sieve::add_policy`]: a new policy marks exactly
-//! the keys it affects outdated, and stale entries regenerate lazily per
-//! the configured [`crate::dynamic::RegenerationPolicy`] (paper Section 6).
+//! [`crate::service::SieveService::add_policy`]: a new policy marks
+//! exactly the keys it affects outdated, and stale entries regenerate
+//! lazily per the configured [`crate::dynamic::RegenerationPolicy`]
+//! (paper Section 6).
+//!
+//! **Concurrency.** The map is split into [`SHARD_COUNT`] shards, each
+//! behind its own `RwLock`; a warm hit takes only its shard's *read*
+//! lock (entry access goes through closures so the guard never escapes),
+//! counters are relaxed atomics, and the LRU clock is a shared atomic
+//! bumped on every access — so the many-reader case the middleware
+//! serves ("millions of queriers, mostly warm") never serializes on a
+//! single lock. Writers (generation, invalidation, eviction) take one
+//! shard's write lock at a time; `add_policy`'s invalidation sweep walks
+//! the shards sequentially without ever holding two locks at once.
+//!
+//! **Eviction.** Each shard holds at most `GUARD_CACHE_CAP /
+//! SHARD_COUNT` entries; past the bound the shard evicts its
+//! least-recently-*used* entries (reads count — the LRU stamp is bumped
+//! on every cache hit, not just on insertion), so a hot key survives
+//! unbounded churn of one-shot keys. Evicted entries drop their compiled
+//! fragments, whose ∆ partitions are freed automatically by their RAII
+//! [`crate::delta::PartitionHandle`]s once no in-flight query pins them.
 
 use crate::guard::GuardedExpression;
 use crate::policy::{PolicyId, UserId};
 use crate::rewrite::{DeltaMode, GuardFragment};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache key: the triple a guarded expression is generated for.
@@ -26,9 +49,11 @@ pub type GuardCacheKey = (UserId, String, String);
 /// `tests/guard_cache.rs`): every expression-level lookup is exactly one
 /// of `hits`, `misses` (no entry existed — cold, or previously evicted),
 /// or `regenerations` (an outdated entry was replaced in place). Entries
-/// dropped by the cap purge are counted in `evictions`, so generated-but-
+/// dropped by LRU eviction are counted in `evictions`, so generated-but-
 /// no-longer-cached work is visible instead of silently skewing the
-/// hit/miss ratio.
+/// hit/miss ratio. Under concurrent drivers the counters are exact in
+/// aggregate (atomic increments) but a snapshot taken mid-operation may
+/// catch a lookup between its two bumps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GuardCacheStats {
     /// Lookups that found a fresh guarded expression.
@@ -39,7 +64,7 @@ pub struct GuardCacheStats {
     pub regenerations: u64,
     /// Entries marked outdated by policy insertions.
     pub invalidations: u64,
-    /// Entries dropped by the cap purge (their next lookup is a miss even
+    /// Entries dropped by LRU eviction (their next lookup is a miss even
     /// though they were generated before).
     pub evictions: u64,
     /// Rewrite fragments compiled (the work warm queries skip).
@@ -94,11 +119,14 @@ pub struct CachedGuard {
     pub pending: Vec<PolicyId>,
     /// The middleware's backend write-epoch at generation time. An entry
     /// whose epoch trails the current one was generated against data (or
-    /// a schema) that may have been mutated out-of-band via
-    /// `Sieve::db_mut`/`backend_mut`, so it must be regenerated before
-    /// use — its row estimates, owner-fallback guards and compiled ∆
-    /// partitions are all suspect.
+    /// a schema) that may have been mutated out-of-band, so it must be
+    /// regenerated before use — its row estimates, owner-fallback guards
+    /// and compiled ∆ partitions are all suspect.
     pub epoch: u64,
+    /// LRU stamp: the cache's access clock at the entry's last touch
+    /// (insert, read or write). Atomic so warm hits can bump it under the
+    /// shard's *read* lock.
+    last_used: AtomicU64,
 }
 
 impl CachedGuard {
@@ -112,6 +140,7 @@ impl CachedGuard {
             outdated: false,
             pending: Vec::new(),
             epoch,
+            last_used: AtomicU64::new(0),
         }
     }
 
@@ -124,18 +153,48 @@ impl CachedGuard {
     }
 }
 
-/// Bound on cached entries. Each entry pins its fragment's ∆ partitions
-/// in the registry, so the cache must stay bounded even with millions of
-/// distinct queriers; at the cap the whole cache is dropped (hot keys
-/// repopulate on their next query, a full generation each — rare enough
-/// at this size that LRU bookkeeping on every hit would cost more).
+/// Number of shards. Sixteen read-write locks are plenty for the core
+/// counts this tree targets while keeping the per-shard LRU scans short.
+pub const SHARD_COUNT: usize = 16;
+
+/// Bound on cached entries across all shards. Each entry pins its
+/// fragment's ∆ partitions in the registry, so the cache must stay
+/// bounded even with millions of distinct queriers. The bound is enforced
+/// per shard (`GUARD_CACHE_CAP / SHARD_COUNT` each) by LRU eviction.
 pub const GUARD_CACHE_CAP: usize = 4096;
 
-/// The cache proper: keyed entries plus counters.
+const SHARD_CAP: usize = GUARD_CACHE_CAP / SHARD_COUNT;
+
 #[derive(Debug, Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    regenerations: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    fragment_builds: AtomicU64,
+    fragment_hits: AtomicU64,
+}
+
+type Shard = HashMap<GuardCacheKey, CachedGuard>;
+
+/// The cache proper: sharded keyed entries plus counters.
+#[derive(Debug)]
 pub struct GuardCache {
-    entries: HashMap<GuardCacheKey, CachedGuard>,
-    stats: GuardCacheStats,
+    shards: Vec<RwLock<Shard>>,
+    /// Monotonic access clock feeding the LRU stamps.
+    clock: AtomicU64,
+    stats: StatCells,
+}
+
+impl Default for GuardCache {
+    fn default() -> Self {
+        GuardCache {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(0),
+            stats: StatCells::default(),
+        }
+    }
 }
 
 impl GuardCache {
@@ -144,64 +203,95 @@ impl GuardCache {
         Self::default()
     }
 
-    /// Number of cached entries.
+    fn shard_index(key: &GuardCacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    fn shard_of(&self, key: &GuardCacheKey) -> &RwLock<Shard> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Number of cached entries (sums the shards; approximate while
+    /// writers are active).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True iff no entries are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Counters.
+    /// Counters snapshot.
     pub fn stats(&self) -> GuardCacheStats {
-        self.stats
+        GuardCacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            regenerations: self.stats.regenerations.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            fragment_builds: self.stats.fragment_builds.load(Ordering::Relaxed),
+            fragment_hits: self.stats.fragment_hits.load(Ordering::Relaxed),
+        }
     }
 
-    /// Immutable entry lookup.
-    pub fn get(&self, key: &GuardCacheKey) -> Option<&CachedGuard> {
-        self.entries.get(key)
+    /// Run `f` over the entry for `key` under the shard's **read** lock
+    /// (the warm-path primitive: concurrent readers of different — or the
+    /// same — keys proceed in parallel). Touches the LRU stamp.
+    pub fn read<R>(&self, key: &GuardCacheKey, f: impl FnOnce(&CachedGuard) -> R) -> Option<R> {
+        let shard = self.shard_of(key).read();
+        let entry = shard.get(key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(f(entry))
     }
 
-    /// Mutable entry lookup.
-    pub fn get_mut(&mut self, key: &GuardCacheKey) -> Option<&mut CachedGuard> {
-        self.entries.get_mut(key)
+    /// Run `f` over the entry for `key` under the shard's write lock
+    /// (pending folds, fragment installs). Touches the LRU stamp.
+    pub fn write<R>(
+        &self,
+        key: &GuardCacheKey,
+        f: impl FnOnce(&mut CachedGuard) -> R,
+    ) -> Option<R> {
+        let mut shard = self.shard_of(key).write();
+        let entry = shard.get_mut(key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(f(entry))
+    }
+
+    /// True iff an entry exists for `key` (does not touch the LRU stamp).
+    pub fn contains(&self, key: &GuardCacheKey) -> bool {
+        self.shard_of(key).read().contains_key(key)
     }
 
     /// Insert (replacing) an entry for a freshly generated expression,
     /// counting it as a miss (no prior entry) or a regeneration (an
-    /// outdated entry replaced). Returns the ∆ keys of displaced
-    /// fragments — the replaced entry's, plus every entry's when the
-    /// insert tripped the [`GUARD_CACHE_CAP`] bound — so the caller can
-    /// free them.
-    pub fn insert_generated(
-        &mut self,
-        key: GuardCacheKey,
-        base: Arc<GuardedExpression>,
-        epoch: u64,
-    ) -> Vec<crate::delta::PartitionKey> {
+    /// outdated entry replaced), then LRU-evict the shard down to its cap
+    /// (the new entry is never the victim). Displaced fragments free
+    /// their ∆ partitions via their RAII handles.
+    pub fn insert_generated(&self, key: GuardCacheKey, base: Arc<GuardedExpression>, epoch: u64) {
         self.insert_generated_bulk(vec![(key, base)], epoch)
     }
 
     /// Bulk variant of [`GuardCache::insert_generated`] for batched
     /// multi-querier warm-population: counts each entry exactly once
-    /// (miss or regeneration, decided against the pre-insert state) and
-    /// performs a **single** cap check for the whole batch instead of one
-    /// per key. When the batch would not fit, everything is purged once
-    /// up front (counted in `evictions`, excluding entries the batch
-    /// replaces anyway) and the batch then inserted whole — a batch is
-    /// populated for immediate use and must never purge itself midway. A
-    /// batch larger than [`GUARD_CACHE_CAP`] therefore leaves the cache
-    /// transiently over the bound (by at most the batch size); the next
-    /// capping insert restores it through the standard full purge.
+    /// (miss or regeneration, decided against the pre-insert state). The
+    /// whole batch always lands — a batch is populated for immediate use
+    /// and must never evict itself — so a shard may transiently exceed
+    /// its cap when a single batch is larger than it; the next capping
+    /// insert restores the bound.
     pub fn insert_generated_bulk(
-        &mut self,
+        &self,
         items: Vec<(GuardCacheKey, Arc<GuardedExpression>)>,
         epoch: u64,
-    ) -> Vec<crate::delta::PartitionKey> {
+    ) {
         // Dedup repeated keys (last write wins, as serial inserts would)
-        // so each key is counted once and the cap arithmetic stays sound.
+        // so each key is counted once.
         let mut index: HashMap<GuardCacheKey, usize> = HashMap::new();
         let mut deduped: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
         for (key, base) in items {
@@ -215,73 +305,95 @@ impl GuardCache {
                 }
             }
         }
-        let items = deduped;
-        let replaced = items
-            .iter()
-            .filter(|(k, _)| self.entries.contains_key(k))
-            .count();
-        let new_keys = items.len() - replaced;
-        self.stats.misses += new_keys as u64;
-        self.stats.regenerations += replaced as u64;
-        let mut freed = if self.entries.len() + new_keys > GUARD_CACHE_CAP {
-            self.stats.evictions += (self.entries.len() - replaced) as u64;
-            self.clear()
-        } else {
-            Vec::new()
-        };
-        for (key, base) in items {
-            let old = self.entries.insert(key, CachedGuard::new(base, epoch));
-            if let Some(f) = old.and_then(|e| e.fragment) {
-                freed.extend_from_slice(&f.fragment.delta_keys);
+        // Group by shard so each shard is locked exactly once.
+        let mut by_shard: HashMap<usize, Vec<(GuardCacheKey, Arc<GuardedExpression>)>> =
+            HashMap::new();
+        for (key, base) in deduped {
+            by_shard
+                .entry(Self::shard_index(&key))
+                .or_default()
+                .push((key, base));
+        }
+        for (shard_idx, batch) in by_shard {
+            let mut shard = self.shards[shard_idx].write();
+            let batch_keys: Vec<GuardCacheKey> = batch.iter().map(|(k, _)| k.clone()).collect();
+            for (key, base) in batch {
+                let mut entry = CachedGuard::new(base, epoch);
+                entry.last_used = AtomicU64::new(self.tick());
+                let replaced = shard.insert(key, entry).is_some();
+                if replaced {
+                    self.stats.regenerations.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.evict_lru(&mut shard, &batch_keys);
+        }
+    }
+
+    /// Evict least-recently-used entries until the shard fits its cap,
+    /// never evicting a key in `keep`.
+    fn evict_lru(&self, shard: &mut Shard, keep: &[GuardCacheKey]) {
+        while shard.len() > SHARD_CAP.max(keep.len()) {
+            let victim = shard
+                .iter()
+                .filter(|(k, _)| !keep.contains(k))
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    shard.remove(&k);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
             }
         }
-        freed
     }
 
     /// Count a hit on the guarded-expression level.
-    pub fn record_hit(&mut self) {
-        self.stats.hits += 1;
+    pub fn record_hit(&self) {
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count a fragment-level hit.
-    pub fn record_fragment_hit(&mut self) {
-        self.stats.fragment_hits += 1;
+    pub fn record_fragment_hit(&self) {
+        self.stats.fragment_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count a fragment build.
-    pub fn record_fragment_build(&mut self) {
-        self.stats.fragment_builds += 1;
+    pub fn record_fragment_build(&self) {
+        self.stats.fragment_builds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark every entry selected by `affects` outdated, recording `policy`
-    /// as pending on it. Returns the number of entries invalidated.
+    /// as pending on it. Walks the shards one write lock at a time.
+    /// Returns the number of entries invalidated.
     pub fn invalidate_where(
-        &mut self,
+        &self,
         policy: PolicyId,
         mut affects: impl FnMut(&GuardCacheKey) -> bool,
     ) -> usize {
         let mut n = 0;
-        for (key, entry) in self.entries.iter_mut() {
-            if affects(key) {
-                entry.outdated = true;
-                entry.pending.push(policy);
-                n += 1;
+        for s in &self.shards {
+            let mut shard = s.write();
+            for (key, entry) in shard.iter_mut() {
+                if affects(key) {
+                    entry.outdated = true;
+                    entry.pending.push(policy);
+                    n += 1;
+                }
             }
         }
-        self.stats.invalidations += n as u64;
+        self.stats.invalidations.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
 
-    /// Drop every entry, returning all ∆ partition keys referenced by
-    /// cached fragments so the caller can free them in the registry.
-    pub fn clear(&mut self) -> Vec<crate::delta::PartitionKey> {
-        let mut keys = Vec::new();
-        for (_, entry) in self.entries.drain() {
-            if let Some(f) = entry.fragment {
-                keys.extend_from_slice(&f.fragment.delta_keys);
-            }
+    /// Drop every entry. Fragments' ∆ partitions are freed by their RAII
+    /// handles as the entries drop (deferred past any in-flight pins).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
         }
-        keys
     }
 }
 
@@ -305,65 +417,68 @@ mod tests {
 
     #[test]
     fn insert_and_hit_counting() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 0);
         assert_eq!(c.stats().misses, 1);
-        assert!(c.get(&key(1, "r")).is_some());
+        assert!(c.read(&key(1, "r"), |_| ()).is_some());
         c.record_hit();
         assert_eq!(c.stats().hits, 1);
     }
 
     #[test]
     fn invalidate_where_marks_matching_entries() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 0);
         c.insert_generated(key(2, "r"), ge("r"), 0);
         c.insert_generated(key(1, "s"), ge("s"), 0);
         let n = c.invalidate_where(42, |(_, _, rel)| rel == "r");
         assert_eq!(n, 2);
-        assert!(c.get(&key(1, "r")).unwrap().outdated);
-        assert_eq!(c.get(&key(2, "r")).unwrap().pending, vec![42]);
-        assert!(!c.get(&key(1, "s")).unwrap().outdated);
+        assert!(c.read(&key(1, "r"), |e| e.outdated).unwrap());
+        assert_eq!(c.read(&key(2, "r"), |e| e.pending.clone()).unwrap(), vec![42]);
+        assert!(!c.read(&key(1, "s"), |e| e.outdated).unwrap());
         assert_eq!(c.stats().invalidations, 2);
     }
 
     #[test]
-    fn cap_bounds_entries_and_reports_freed_keys() {
-        let mut c = GuardCache::new();
-        for i in 0..GUARD_CACHE_CAP as i64 {
+    fn cap_bounds_entries_via_lru_eviction() {
+        let c = GuardCache::new();
+        // Saturate well past the global cap: the cache must stay bounded,
+        // shed the overflow as evictions, and keep every *recently used*
+        // key resident.
+        for i in 0..(GUARD_CACHE_CAP as i64 * 2) {
             c.insert_generated(key(i, "r"), ge("r"), 0);
         }
-        assert_eq!(c.len(), GUARD_CACHE_CAP);
-        // Give one entry a fragment with a ∆ key so the flush reports it.
-        c.get_mut(&key(0, "r")).unwrap().fragment = Some(CachedFragment {
-            fragment: Arc::new(GuardFragment {
-                branches: vec![],
-                guard_attrs: vec![],
-                est_guard_rows: 0.0,
-                delta_guards: 1,
-                delta_keys: vec![77],
-                delta_mode: DeltaMode::Auto,
-            }),
-            pending_len: 0,
-            delta_mode: DeltaMode::Auto,
-        });
-        // A new key at the cap flushes everything (freed keys bubble up);
-        // re-inserting an existing key does not.
-        let freed = c.insert_generated(key(1, "r"), ge("r"), 0);
-        assert!(freed.is_empty());
-        assert_eq!(c.len(), GUARD_CACHE_CAP);
-        let freed = c.insert_generated(key(-1, "r"), ge("r"), 0);
-        assert_eq!(freed, vec![77]);
-        assert_eq!(c.len(), 1);
+        assert!(c.len() <= GUARD_CACHE_CAP, "len {} > cap", c.len());
+        let s = c.stats();
+        assert_eq!(s.misses, GUARD_CACHE_CAP as u64 * 2);
+        assert_eq!(s.evictions as usize, GUARD_CACHE_CAP * 2 - c.len());
     }
 
     #[test]
-    fn bulk_insert_counts_each_entry_once_and_caps_once() {
-        let mut c = GuardCache::new();
+    fn lru_on_access_protects_hot_keys_from_churn() {
+        let c = GuardCache::new();
+        let hot = key(-1, "hot");
+        c.insert_generated(hot.clone(), ge("hot"), 0);
+        // Churn an order of magnitude more one-shot keys than the cache
+        // holds, touching the hot key between insertions. FIFO or
+        // LRU-on-*insert* would rotate it out; LRU-on-access must not.
+        for i in 0..(GUARD_CACHE_CAP as i64 * 4) {
+            c.insert_generated(key(i, "churn"), ge("churn"), 0);
+            assert!(
+                c.read(&hot, |_| ()).is_some(),
+                "hot key evicted after {i} churn insertions"
+            );
+        }
+        assert!(c.len() <= GUARD_CACHE_CAP);
+    }
+
+    #[test]
+    fn bulk_insert_counts_each_entry_once() {
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 0);
-        // Bulk over one existing + two new keys: one cap decision, per-key
-        // miss/regeneration accounting against the pre-insert state.
-        let freed = c.insert_generated_bulk(
+        // Bulk over one existing + two new keys: per-key miss/regeneration
+        // accounting against the pre-insert state.
+        c.insert_generated_bulk(
             vec![
                 (key(1, "r"), ge("r")),
                 (key(2, "r"), ge("r")),
@@ -371,33 +486,39 @@ mod tests {
             ],
             0,
         );
-        assert!(freed.is_empty());
         let s = c.stats();
         assert_eq!(s.misses, 3, "1 cold insert + 2 new bulk keys");
         assert_eq!(s.regenerations, 1, "key 1 replaced in place");
         assert_eq!(s.evictions, 0);
         assert_eq!(s.generations(), 4);
         assert_eq!(c.len(), 3);
-        // A batch that cannot fit purges the survivors exactly once, up
-        // front, then inserts whole.
-        let batch: Vec<_> = (100..100 + GUARD_CACHE_CAP as i64)
+    }
+
+    #[test]
+    fn bulk_insert_larger_than_cap_lands_whole() {
+        let c = GuardCache::new();
+        // A batch bigger than the whole cache: every batch entry must land
+        // (transient overflow) — a batch is populated for immediate use.
+        let batch: Vec<_> = (0..(GUARD_CACHE_CAP as i64 + 512))
             .map(|i| (key(i, "r"), ge("r")))
             .collect();
         let n = batch.len();
         c.insert_generated_bulk(batch, 0);
-        let s = c.stats();
-        assert_eq!(s.evictions, 3, "pre-existing entries purged once");
-        assert_eq!(s.misses, 3 + n as u64);
-        assert_eq!(c.len(), n);
+        assert_eq!(c.stats().misses, n as u64);
+        for i in 0..(GUARD_CACHE_CAP as i64 + 512) {
+            assert!(c.read(&key(i, "r"), |_| ()).is_some(), "batch key {i} missing");
+        }
+        // The next capping single insert restores its shard's bound.
+        c.insert_generated(key(-7, "r"), ge("r"), 0);
+        assert!(c.stats().evictions > 0);
     }
 
     #[test]
     fn bulk_insert_dedups_repeated_keys() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         // The same key three times plus one distinct: two entries, two
-        // misses, no phantom counts — and no cap-arithmetic underflow when
-        // duplicates outnumber live entries.
-        let freed = c.insert_generated_bulk(
+        // misses, no phantom counts.
+        c.insert_generated_bulk(
             vec![
                 (key(1, "r"), ge("r")),
                 (key(1, "r"), ge("r")),
@@ -406,7 +527,6 @@ mod tests {
             ],
             0,
         );
-        assert!(freed.is_empty());
         assert_eq!(c.len(), 2);
         let s = c.stats();
         assert_eq!(s.misses, 2);
@@ -416,7 +536,7 @@ mod tests {
 
     #[test]
     fn regeneration_of_existing_key_is_not_a_miss() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 0);
         c.invalidate_where(9, |_| true);
         c.insert_generated(key(1, "r"), ge("r"), 0);
@@ -429,36 +549,59 @@ mod tests {
 
     #[test]
     fn entries_record_their_generation_epoch() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 3);
-        assert_eq!(c.get(&key(1, "r")).unwrap().epoch, 3);
+        assert_eq!(c.read(&key(1, "r"), |e| e.epoch).unwrap(), 3);
         // Regeneration at a later epoch replaces the stamp.
         c.insert_generated(key(1, "r"), ge("r"), 5);
-        assert_eq!(c.get(&key(1, "r")).unwrap().epoch, 5);
+        assert_eq!(c.read(&key(1, "r"), |e| e.epoch).unwrap(), 5);
         assert_eq!(c.stats().regenerations, 1);
     }
 
     #[test]
     fn fragment_freshness_tracks_pending_and_mode() {
-        let mut c = GuardCache::new();
+        let c = GuardCache::new();
         c.insert_generated(key(1, "r"), ge("r"), 0);
-        let e = c.get_mut(&key(1, "r")).unwrap();
-        assert!(!e.fragment_fresh(DeltaMode::Auto), "no fragment yet");
-        e.fragment = Some(CachedFragment {
-            fragment: Arc::new(GuardFragment {
-                branches: vec![],
-                guard_attrs: vec![],
-                est_guard_rows: 0.0,
-                delta_guards: 0,
-                delta_keys: vec![],
+        c.write(&key(1, "r"), |e| {
+            assert!(!e.fragment_fresh(DeltaMode::Auto), "no fragment yet");
+            e.fragment = Some(CachedFragment {
+                fragment: Arc::new(GuardFragment {
+                    branches: vec![],
+                    guard_attrs: vec![],
+                    est_guard_rows: 0.0,
+                    delta_guards: 0,
+                    partitions: vec![],
+                    delta_mode: DeltaMode::Auto,
+                }),
+                pending_len: 0,
                 delta_mode: DeltaMode::Auto,
-            }),
-            pending_len: 0,
-            delta_mode: DeltaMode::Auto,
+            });
+            assert!(e.fragment_fresh(DeltaMode::Auto));
+            assert!(!e.fragment_fresh(DeltaMode::Always), "mode change stales");
+            e.pending.push(7);
+            assert!(!e.fragment_fresh(DeltaMode::Auto), "pending change stales");
         });
-        assert!(e.fragment_fresh(DeltaMode::Auto));
-        assert!(!e.fragment_fresh(DeltaMode::Always), "mode change stales");
-        e.pending.push(7);
-        assert!(!e.fragment_fresh(DeltaMode::Auto), "pending change stales");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_keep_counters_consistent() {
+        let c = Arc::new(GuardCache::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..200i64 {
+                        let k = key(t * 1000 + i, "r");
+                        c.insert_generated(k.clone(), ge("r"), 0);
+                        assert!(c.read(&k, |_| ()).is_some());
+                        c.record_hit();
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.misses, 800);
+        assert_eq!(s.hits, 800);
+        assert_eq!(c.len(), 800);
     }
 }

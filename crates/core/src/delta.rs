@@ -84,6 +84,47 @@ struct CompiledPartition {
 /// Partition key handed to the UDF as its first argument.
 pub type PartitionKey = i64;
 
+/// RAII lease on a registered ∆ partition: the partition stays resolvable
+/// by the UDF for as long as at least one clone of the handle is alive,
+/// and is removed from the registry when the last clone drops.
+///
+/// This is what makes concurrent invalidation safe: a query thread that
+/// cloned a compiled fragment (and with it these handles) keeps the
+/// partitions its ∆ calls reference alive even if another thread
+/// regenerates or evicts the cache entry mid-flight — the superseded
+/// partitions are freed only once the in-flight query finishes and drops
+/// its pin.
+#[derive(Clone)]
+pub struct PartitionHandle {
+    inner: Arc<HandleInner>,
+}
+
+struct HandleInner {
+    key: PartitionKey,
+    registry: std::sync::Weak<DeltaRegistry>,
+}
+
+impl PartitionHandle {
+    /// The partition key embedded in rewritten queries.
+    pub fn key(&self) -> PartitionKey {
+        self.inner.key
+    }
+}
+
+impl std::fmt::Debug for PartitionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PartitionHandle").field(&self.inner.key).finish()
+    }
+}
+
+impl Drop for HandleInner {
+    fn drop(&mut self) {
+        if let Some(registry) = self.registry.upgrade() {
+            registry.remove(&[self.key]);
+        }
+    }
+}
+
 /// Shared registry of compiled partitions behind the ∆ UDF.
 #[derive(Default)]
 pub struct DeltaRegistry {
@@ -119,14 +160,16 @@ impl DeltaRegistry {
     }
 
     /// Compile and register a partition of policies against a relation
-    /// schema. The UDF's argument layout is `(key, col_0 … col_{n-1})` in
-    /// schema order. Policies containing derived (subquery) conditions are
-    /// rejected — the rewriter keeps those inline.
+    /// schema, returning an RAII [`PartitionHandle`] — the partition lives
+    /// until the last clone of the handle drops. The UDF's argument layout
+    /// is `(key, col_0 … col_{n-1})` in schema order. Policies containing
+    /// derived (subquery) conditions are rejected — the rewriter keeps
+    /// those inline.
     pub fn register_partition(
-        &self,
+        self: &Arc<Self>,
         schema: &TableSchema,
         policies: &[&Policy],
-    ) -> DbResult<PartitionKey> {
+    ) -> DbResult<PartitionHandle> {
         let owner_col = schema
             .column_index(crate::policy::OWNER_ATTR)
             .ok_or_else(|| DbError::UnknownColumn("owner".into()))?;
@@ -168,19 +211,31 @@ impl DeltaRegistry {
         inner.next_key += 1;
         let key = inner.next_key;
         inner.partitions.insert(key, Arc::new(part));
-        Ok(key)
+        Ok(PartitionHandle {
+            inner: Arc::new(HandleInner {
+                key,
+                registry: Arc::downgrade(self),
+            }),
+        })
     }
 
-    /// Drop all registered partitions (used on full cache invalidation).
+    /// Force-drop **all** registered partitions, including ones whose
+    /// [`PartitionHandle`]s are still alive — a hard reset for tests and
+    /// diagnostics, NOT part of the normal lifecycle (the middleware
+    /// frees partitions exclusively through handle drops, so in-flight
+    /// queries keep theirs resolvable). A query executed against a
+    /// cleared-but-still-pinned fragment fails with "unknown partition";
+    /// the pinning handles' later drops are harmless no-ops.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.partitions.clear();
     }
 
-    /// Drop specific partitions — the precise invalidation path: a cached
-    /// rewrite fragment that is regenerated (or evicted) frees exactly the
-    /// partitions its ∆ calls referenced, leaving every other fragment's
-    /// registrations live.
+    /// Drop specific partitions. Normally driven by [`PartitionHandle`]
+    /// drops (a fragment that is regenerated or evicted frees exactly the
+    /// partitions its ∆ calls referenced, once no in-flight query pins
+    /// them); idempotent, so a manual `remove` followed by a handle drop
+    /// is harmless.
     pub fn remove(&self, keys: &[PartitionKey]) {
         if keys.is_empty() {
             return;
@@ -322,9 +377,10 @@ mod tests {
         let reg = DeltaRegistry::new();
         let p1 = policy(7, 1200);
         let p2 = policy(8, 1300);
-        let key = reg
+        let handle = reg
             .register_partition(&schema(), &[&p1, &p2])
             .unwrap();
+        let key = handle.key();
         // Owner 7 at AP 1200 → allowed by p1.
         assert!(invoke(
             &reg,
@@ -350,7 +406,8 @@ mod tests {
         let reg = DeltaRegistry::new();
         let policies: Vec<Policy> = (0..50).map(|o| policy(o, 1200)).collect();
         let refs: Vec<&Policy> = policies.iter().collect();
-        let key = reg.register_partition(&schema(), &refs).unwrap();
+        let handle = reg.register_partition(&schema(), &refs).unwrap();
+        let key = handle.key();
         let udf = DeltaUdf {
             registry: Arc::clone(&reg),
         };
@@ -392,9 +449,9 @@ mod tests {
         let reg = DeltaRegistry::new();
         reg.install(&mut db);
         let p = policy(7, 1200);
-        let key = reg.register_partition(&schema(), &[&p]).unwrap();
+        let handle = reg.register_partition(&schema(), &[&p]).unwrap();
         let q = minidb::SelectQuery::star_from("wifi_dataset")
-            .filter(delta_call_expr(key, &schema()));
+            .filter(delta_call_expr(handle.key(), &schema()));
         let res = db.run_query(&q).unwrap();
         assert_eq!(res.len(), 1);
     }
@@ -403,29 +460,35 @@ mod tests {
     fn clear_drops_partitions() {
         let reg = DeltaRegistry::new();
         let p = policy(1, 1);
-        reg.register_partition(&schema(), &[&p]).unwrap();
+        let handle = reg.register_partition(&schema(), &[&p]).unwrap();
         assert_eq!(reg.len(), 1);
         reg.clear();
+        assert!(reg.is_empty());
+        // The handle's eventual drop re-removes the key: idempotent.
+        drop(handle);
         assert!(reg.is_empty());
     }
 
     #[test]
-    fn remove_frees_exactly_the_named_partitions() {
+    fn dropping_the_last_handle_frees_the_partition() {
         let reg = DeltaRegistry::new();
         let p1 = policy(1, 1200);
         let p2 = policy(2, 1300);
-        let k1 = reg.register_partition(&schema(), &[&p1]).unwrap();
-        let k2 = reg.register_partition(&schema(), &[&p2]).unwrap();
-        reg.remove(&[k1]);
-        assert_eq!(reg.len(), 1);
+        let h1 = reg.register_partition(&schema(), &[&p1]).unwrap();
+        let h2 = reg.register_partition(&schema(), &[&p2]).unwrap();
+        let k2 = h2.key();
+        // A clone pins the partition past the original's drop.
+        let h1_clone = h1.clone();
+        drop(h1);
+        assert_eq!(reg.len(), 2, "clone still pins the partition");
+        drop(h1_clone);
+        assert_eq!(reg.len(), 1, "last drop frees it");
         // The surviving partition still evaluates.
         assert!(invoke(
             &reg,
             k2,
             &[Value::Int(0), Value::Int(2), Value::Int(1300), Value::Time(0)]
         ));
-        reg.remove(&[]); // no-op
-        assert_eq!(reg.len(), 1);
     }
 
     #[test]
@@ -433,10 +496,10 @@ mod tests {
         let reg = DeltaRegistry::new();
         let p = policy(1, 1200);
         let before = reg.watermark();
-        let k1 = reg.register_partition(&schema(), &[&p]).unwrap();
-        let k2 = reg.register_partition(&schema(), &[&p]).unwrap();
+        let h1 = reg.register_partition(&schema(), &[&p]).unwrap();
+        let h2 = reg.register_partition(&schema(), &[&p]).unwrap();
         let after = reg.watermark();
         let bracketed: Vec<PartitionKey> = ((before + 1)..=after).collect();
-        assert_eq!(bracketed, vec![k1, k2]);
+        assert_eq!(bracketed, vec![h1.key(), h2.key()]);
     }
 }

@@ -13,10 +13,21 @@
 //!    ([`cost`]) via candidate merging (Theorem 1) and utility-greedy set
 //!    cover (Algorithm 1).
 //!
-//! The [`middleware::Sieve`] façade ties it together: it intercepts a
-//! query plus its metadata, rewrites it ([`rewrite`]) with `WITH` clauses,
-//! index hints and inline-vs-∆ choices, and executes it on a pluggable
-//! execution backend ([`backend::SqlBackend`] — the in-process
+//! The middleware surface comes in two shapes over one implementation:
+//!
+//! * [`service::SieveService`] — the **concurrent** middleware object
+//!   (`Send + Sync`, cheap clones, the whole query path at `&self`):
+//!   what a server shares across connection threads. Per-querier
+//!   [`session::Session`] handles capture the metadata once, and
+//!   [`session::Prepared`] statements pin a compiled rewrite for
+//!   repeated zero-middleware execution.
+//! * [`middleware::Sieve`] — the single-owner façade (a thin wrapper
+//!   over the service) with the classic `&mut self` API and direct
+//!   `&mut` backend access; experiments and tests use this.
+//!
+//! Either way, a query plus its metadata is rewritten ([`rewrite`]) with
+//! `WITH` clauses, index hints and inline-vs-∆ choices, and executed on a
+//! pluggable execution backend ([`backend::SqlBackend`] — the in-process
 //! [`backend::MinidbBackend`] by default, or the textual
 //! `backend::WireSqlBackend` which ships rendered SQL across a simulated
 //! wire as the paper's middleware does against a real server).
@@ -28,7 +39,7 @@
 //! the allow-only model the enforcement path assumes. [`batch`] amortizes
 //! guard generation across batches of concurrent queriers — shared
 //! candidate generation per `(purpose, relation)` group, per-querier set
-//! cover.
+//! cover (parallelized across threads under the service).
 
 #![warn(missing_docs)]
 
@@ -46,6 +57,8 @@ pub mod middleware;
 pub mod policy;
 pub mod rewrite;
 pub mod semantics;
+pub mod service;
+pub mod session;
 pub mod store;
 
 pub use backend::{MinidbBackend, SqlBackend};
@@ -61,3 +74,5 @@ pub use policy::{
     Action, CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec, QueryMetadata,
     UserId, OWNER_ATTR, PURPOSE_ANY,
 };
+pub use service::SieveService;
+pub use session::{Prepared, Session};

@@ -1,15 +1,23 @@
-//! The SIEVE middleware façade (paper Section 5).
+//! The single-owner SIEVE middleware façade (paper Section 5).
 //!
-//! [`Sieve`] owns an execution backend ([`SqlBackend`]) the way the
-//! paper's middleware sits in front of MySQL/PostgreSQL: queries come in
-//! with their metadata, get rewritten against the querier's guarded
-//! expressions, and the rewritten query is executed by whatever engine
-//! the backend reaches — the in-process [`MinidbBackend`] by default, or
-//! the textual `WireSqlBackend` that ships rendered SQL across a
-//! simulated wire. Policies enter through [`Sieve::add_policy`], which
-//! marks affected guarded expressions outdated; regeneration happens
-//! lazily at query time per the configured [`RegenerationPolicy`]
-//! (Sections 5.1 and 6).
+//! [`Sieve`] is a thin wrapper over the concurrent
+//! [`SieveService`](crate::service::SieveService): same enforcement, same
+//! caches, same backends — but owned by one caller, with the classic
+//! `&mut self` API and direct `&mut` escape hatches
+//! ([`Sieve::db_mut`], [`Sieve::backend_mut`], [`Sieve::options_mut`])
+//! that a shared service cannot hand out. Experiments, tests and
+//! single-threaded embedding use this type; a server that multiplexes
+//! connections uses [`SieveService`](crate::service::SieveService) plus
+//! per-connection [`Session`](crate::session::Session) handles instead.
+//!
+//! Queries come in with their metadata, get rewritten against the
+//! querier's guarded expressions, and the rewritten query is executed by
+//! whatever engine the backend reaches — the in-process
+//! [`MinidbBackend`] by default, or the textual `WireSqlBackend` that
+//! ships rendered SQL across a simulated wire. Policies enter through
+//! [`Sieve::add_policy`], which marks affected guarded expressions
+//! outdated; regeneration happens lazily at query time per the
+//! configured [`RegenerationPolicy`] (Sections 5.1 and 6).
 //!
 //! Out-of-band engine mutation ([`Sieve::db_mut`] /
 //! [`Sieve::backend_mut`]) bumps a **backend epoch**; cached guards
@@ -18,40 +26,25 @@
 //! partitions can never act on data mutated underneath them.
 
 use crate::backend::{MinidbBackend, SqlBackend};
-use crate::baselines::{
-    rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
-};
-use crate::batch::{BatchGroupReport, BatchPrepareReport};
-use crate::cache::{CachedFragment, CachedGuard, GuardCache, GuardCacheKey, GuardCacheStats};
+use crate::baselines::Baseline;
+use crate::batch::BatchPrepareReport;
+use crate::cache::GuardCacheStats;
 use crate::cost::CostModel;
-use crate::delta::{DeltaRegistry, PartitionKey};
-use crate::dynamic::{optimal_regeneration_interval, RegenerationPolicy};
-use crate::filter::{policy_applies, relevant_policies, GroupDirectory};
-use crate::guard::{
-    generate_guarded_expression, owner_fallback_guards, GuardSelectionStrategy,
-    GuardedExpression,
-};
+use crate::dynamic::RegenerationPolicy;
+use crate::filter::GroupDirectory;
+use crate::guard::{GuardSelectionStrategy, GuardedExpression};
 use crate::policy::{Policy, PolicyId, QueryMetadata};
-use crate::rewrite::{
-    classify_protected_refs, collect_protected, compile_guard_fragment, rewrite_query,
-    CompiledRelation, RewriteOptions, RewriteOutput,
-};
-use crate::store::{
-    create_policy_tables, persist_guarded_expression, persist_policy, GuardTableIds,
-    PolicyStore,
-};
-use minidb::error::{DbError, DbResult};
-use minidb::exec::ExecOptions;
+use crate::rewrite::{RewriteOptions, RewriteOutput};
+use crate::service::{MappedReadGuard, ServiceShared, SieveService};
+use minidb::error::DbResult;
 use minidb::plan::SelectQuery;
 use minidb::stats::ExecStats;
 use minidb::{Database, QueryResult};
-use std::collections::{HashMap, HashSet};
+use parking_lot::RwLockReadGuard;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Bound on the parsed-SQL cache (entries); repeat textual queries skip
-/// the parser, a full cache is simply dropped.
-const SQL_CACHE_CAP: usize = 256;
 
 /// Configuration of the middleware.
 #[derive(Debug, Clone, Default)]
@@ -80,35 +73,11 @@ pub enum Enforcement {
     NoPolicies,
 }
 
-/// The middleware, generic over its execution backend. The default
-/// parameter keeps every pre-existing `Sieve` call site compiling against
-/// the in-process engine.
+/// The single-owner middleware, generic over its execution backend. The
+/// default parameter keeps every pre-existing `Sieve` call site compiling
+/// against the in-process engine.
 pub struct Sieve<B: SqlBackend = MinidbBackend> {
-    backend: B,
-    /// Backend write-epoch: bumped on every mutable backend access, so
-    /// guards generated before an out-of-band write are detectably stale.
-    backend_epoch: u64,
-    store: PolicyStore,
-    groups: GroupDirectory,
-    cost: CostModel,
-    delta: Arc<DeltaRegistry>,
-    options: SieveOptions,
-    cache: GuardCache,
-    protected: HashSet<String>,
-    guard_ids: GuardTableIds,
-    oc_id: i64,
-    /// ∆ partitions registered by the last baseline rewrite, reclaimed on
-    /// the next one (baselines bypass the guard cache).
-    baseline_delta_keys: Vec<PartitionKey>,
-    /// Parsed-SQL cache for [`Sieve::execute_sql`]: repeat textual queries
-    /// reuse the AST instead of re-parsing.
-    sql_cache: HashMap<String, Arc<SelectQuery>>,
-    /// Insertion order of `sql_cache` keys — FIFO eviction at the cap, so
-    /// a long-lived hot entry survives ~`SQL_CACHE_CAP` insertions rather
-    /// than being an arbitrary hash-order victim every round.
-    sql_cache_order: std::collections::VecDeque<String>,
-    /// Guarded-expression generations performed (observability).
-    pub generations: u64,
+    service: SieveService<B>,
 }
 
 impl Sieve<MinidbBackend> {
@@ -118,162 +87,164 @@ impl Sieve<MinidbBackend> {
         Self::with_backend(MinidbBackend::new(db), options)
     }
 
-    /// The wrapped database (read access).
-    pub fn db(&self) -> &Database {
-        self.backend.db()
+    /// The wrapped database (read access; holds the backend read lock
+    /// for the guard's lifetime).
+    pub fn db(&self) -> MappedReadGuard<'_, MinidbBackend, Database> {
+        self.service.db()
     }
 
     /// The wrapped database (mutable, e.g. for loading data). Bumps the
     /// backend epoch: guards generated before this access regenerate
     /// lazily on their next use, since the caller may mutate rows or
     /// schema underneath them.
+    ///
+    /// Requires exclusive ownership of the underlying service — panics if
+    /// a [`Sieve::service`] clone or session handle is still alive (use
+    /// [`SieveService::with_db_mut`] in that case).
     pub fn db_mut(&mut self) -> &mut Database {
-        self.backend_epoch += 1;
-        self.backend.db_mut()
+        self.bump_backend_epoch();
+        self.shared_mut().backend.get_mut().db_mut()
     }
 }
 
 impl<B: SqlBackend> Sieve<B> {
     /// Wrap an arbitrary execution backend. Installs the ∆ UDF; creates
     /// the policy relations when persistence is on.
-    pub fn with_backend(mut backend: B, options: SieveOptions) -> DbResult<Self> {
-        let delta = DeltaRegistry::new();
-        delta.install(&mut backend);
-        if options.persist {
-            create_policy_tables(&mut backend)?;
-        }
+    pub fn with_backend(backend: B, options: SieveOptions) -> DbResult<Self> {
         Ok(Sieve {
-            backend,
-            backend_epoch: 0,
-            store: PolicyStore::new(),
-            groups: GroupDirectory::new(),
-            cost: CostModel::default(),
-            delta,
-            options,
-            cache: GuardCache::new(),
-            protected: HashSet::new(),
-            guard_ids: GuardTableIds::default(),
-            oc_id: 0,
-            baseline_delta_keys: Vec::new(),
-            sql_cache: HashMap::new(),
-            sql_cache_order: std::collections::VecDeque::new(),
-            generations: 0,
+            service: SieveService::with_backend(backend, options)?,
         })
     }
 
-    /// The execution backend (read access).
-    pub fn backend(&self) -> &B {
-        &self.backend
+    /// The shared service this façade wraps. Cloning it (or creating
+    /// sessions from it) is how a single-owner setup graduates to
+    /// concurrent use — but note that while any clone lives, the `&mut`
+    /// escape hatches ([`Sieve::db_mut`] and friends) panic; use the
+    /// service's `with_*_mut` closures instead.
+    pub fn service(&self) -> &SieveService<B> {
+        &self.service
+    }
+
+    /// Consume the façade, yielding the service handle.
+    pub fn into_service(self) -> SieveService<B> {
+        self.service
+    }
+
+    fn shared_mut(&mut self) -> &mut ServiceShared<B> {
+        Arc::get_mut(&mut self.service.inner).expect(
+            "Sieve's &mut accessors need exclusive ownership of the underlying \
+             SieveService, but a clone/session is still alive; use the \
+             SieveService with_*_mut methods instead",
+        )
+    }
+
+    fn bump_backend_epoch(&self) {
+        self.service.inner.backend_epoch.fetch_add(1, Ordering::SeqCst);
+        self.service.inner.revision.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn bump_revision(&self) {
+        self.service.inner.revision.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The execution backend (read access; holds the backend read lock).
+    pub fn backend(&self) -> RwLockReadGuard<'_, B> {
+        self.service.backend()
     }
 
     /// The execution backend (mutable). Bumps the backend epoch, exactly
     /// like [`Sieve::db_mut`]: any cached guard generated before this
-    /// access is treated as stale and regenerated on its next use.
+    /// access is treated as stale and regenerated on its next use. Panics
+    /// if a service clone or session is still alive.
     pub fn backend_mut(&mut self) -> &mut B {
-        self.backend_epoch += 1;
-        &mut self.backend
+        self.bump_backend_epoch();
+        self.shared_mut().backend.get_mut()
     }
 
     /// The current backend write-epoch (observability/tests).
     pub fn backend_epoch(&self) -> u64 {
-        self.backend_epoch
+        self.service.backend_epoch()
     }
 
-    /// Current cost model.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+    /// Current cost model (copy).
+    pub fn cost_model(&self) -> CostModel {
+        self.service.cost_model()
     }
 
     /// Replace the cost model (e.g. after [`crate::cost::calibrate`]).
     pub fn set_cost_model(&mut self, cost: CostModel) {
-        self.cost = cost;
-        self.invalidate_all();
+        self.service.set_cost_model(cost);
     }
 
     /// Calibrate the cost model against a loaded table (Section 5.4).
     pub fn calibrate(&mut self, table: &str, sample_rows: usize) -> DbResult<()> {
-        let policies: Vec<&Policy> = self.store.iter().take(64).collect();
-        let model = crate::cost::calibrate(&self.backend, table, &policies, sample_rows)?;
-        self.cost = model;
-        self.invalidate_all();
-        Ok(())
+        self.service.calibrate(table, sample_rows)
     }
 
-    /// Group directory (mutable, for registering memberships).
+    /// Group directory (mutable, for registering memberships). Panics if
+    /// a service clone or session is still alive.
     pub fn groups_mut(&mut self) -> &mut GroupDirectory {
-        &mut self.groups
+        self.bump_revision();
+        self.shared_mut().groups.get_mut()
     }
 
-    /// Group directory.
-    pub fn groups(&self) -> &GroupDirectory {
-        &self.groups
+    /// Group directory (read access; holds its read lock).
+    pub fn groups(&self) -> RwLockReadGuard<'_, GroupDirectory> {
+        self.service.groups()
     }
 
-    /// Options in effect.
-    pub fn options(&self) -> &SieveOptions {
-        &self.options
+    /// Options in effect (read access; holds their read lock).
+    pub fn options(&self) -> RwLockReadGuard<'_, SieveOptions> {
+        self.service.options_ref()
     }
 
-    /// Mutable options (e.g. to force a strategy between runs).
+    /// Mutable options (e.g. to force a strategy between runs). Panics if
+    /// a service clone or session is still alive.
     pub fn options_mut(&mut self) -> &mut SieveOptions {
-        &mut self.options
+        self.bump_revision();
+        self.shared_mut().options.get_mut()
     }
 
     /// Number of registered policies.
     pub fn policy_count(&self) -> usize {
-        self.store.len()
+        self.service.policy_count()
     }
 
-    /// Iterate registered policies.
-    pub fn policies(&self) -> impl Iterator<Item = &Policy> {
-        self.store.iter()
+    /// Snapshot of the registered policies (clones).
+    pub fn policies(&self) -> Vec<Policy> {
+        self.service.policies()
     }
 
     /// Register a policy. Marks affected guarded expressions outdated and
     /// (optionally) persists to the policy relations.
     pub fn add_policy(&mut self, policy: Policy) -> DbResult<PolicyId> {
-        let id = self.store.add(policy);
-        let stored = self.store.get(id).expect("just inserted").clone();
-        self.protected.insert(stored.relation.clone());
-        if self.options.persist {
-            persist_policy(&mut self.backend, &stored, &mut self.oc_id)?;
-        }
-        // Outdate exactly the cached expressions the policy affects (the
-        // precise invalidation path of Section 6's delta machinery).
-        let groups = &self.groups;
-        self.cache.invalidate_where(id, |(querier, purpose, relation)| {
-            *relation == stored.relation && {
-                let qm = QueryMetadata::new(*querier, purpose.clone());
-                policy_applies(&stored, &qm, groups)
-            }
-        });
-        Ok(id)
+        self.service.add_policy(policy)
     }
 
     /// Bulk registration.
     pub fn add_policies(&mut self, policies: impl IntoIterator<Item = Policy>) -> DbResult<()> {
-        for p in policies {
-            self.add_policy(p)?;
-        }
-        Ok(())
+        self.service.add_policies(policies)
     }
 
     /// Drop all cached guarded expressions and free their ∆ partitions.
     pub fn invalidate_all(&mut self) {
-        let keys = self.cache.clear();
-        self.delta.remove(&keys);
-        self.delta.remove(&std::mem::take(&mut self.baseline_delta_keys));
+        self.service.invalidate_all()
     }
 
     /// Guard-cache counters (hits, misses, invalidations, fragment work).
     pub fn cache_stats(&self) -> GuardCacheStats {
-        self.cache.stats()
+        self.service.cache_stats()
+    }
+
+    /// Guarded-expression generations performed (observability).
+    pub fn generations(&self) -> u64 {
+        self.service.generations()
     }
 
     /// Live ∆ partitions (observability: cached fragments keep theirs
     /// registered; precise invalidation must keep this bounded).
     pub fn delta_len(&self) -> usize {
-        self.delta.len()
+        self.service.delta_len()
     }
 
     /// Declare a relation access-controlled even before any policy exists
@@ -283,220 +254,34 @@ impl<B: SqlBackend> Sieve<B> {
     /// its first policy arrived. [`Sieve::add_policy`] protects the
     /// policy's relation implicitly.
     pub fn protect(&mut self, relation: impl Into<String>) {
-        self.protected.insert(relation.into());
+        self.service.protect(relation)
     }
 
-    /// Relations currently under access control.
-    pub fn protected_relations(&self) -> &HashSet<String> {
-        &self.protected
+    /// Relations currently under access control (read access).
+    pub fn protected_relations(&self) -> RwLockReadGuard<'_, HashSet<String>> {
+        self.service.protected_relations()
     }
 
     /// The guarded expression for (querier, purpose, relation), generating
-    /// or refreshing it per the regeneration policy. Returns the
-    /// expression actually used for enforcement (stale + pending branches
-    /// under `OptimalRate`/`Manual` when below the regeneration threshold).
+    /// or refreshing it per the regeneration policy.
     pub fn guarded_expression(
         &mut self,
         qm: &QueryMetadata,
         relation: &str,
     ) -> DbResult<GuardedExpression> {
-        let key = self.refresh_entry(qm, relation)?;
-        Ok((*self.cache.get(&key).expect("refreshed").effective).clone())
-    }
-
-    /// True iff the entry must be regenerated before use: its backend
-    /// epoch trails (out-of-band data/schema mutation — a correctness
-    /// hazard that overrides the regeneration policy), or it is outdated
-    /// and due under the configured policy (Section 6's threshold for
-    /// `OptimalRate`).
-    fn regeneration_due(&self, c: &CachedGuard) -> bool {
-        if c.epoch != self.backend_epoch {
-            return true;
-        }
-        c.outdated
-            && match self.options.regeneration {
-                RegenerationPolicy::Immediate => true,
-                RegenerationPolicy::Manual => false,
-                RegenerationPolicy::OptimalRate {
-                    queries_per_insertion,
-                } => {
-                    let guards = c.base.guards.len().max(1) as f64;
-                    let rho_avg = c.base.total_guard_rows() / guards;
-                    let k = optimal_regeneration_interval(
-                        &self.cost,
-                        rho_avg,
-                        queries_per_insertion,
-                    );
-                    c.pending.len() as f64 >= k
-                }
-            }
-    }
-
-    /// True iff the key requires a fresh generation: no cache entry, or an
-    /// outdated one past its regeneration threshold. Shared by the
-    /// per-query refresh path and [`Sieve::prepare_batch`].
-    fn needs_generation(&self, key: &GuardCacheKey) -> bool {
-        match self.cache.get(key) {
-            None => true,
-            Some(c) => self.regeneration_due(c),
-        }
-    }
-
-    /// Ensure the cache entry exists and is fresh per the regeneration
-    /// policy, with its effective expression (base + pending branches)
-    /// up to date. Returns the cache key. The warm path is a single cache
-    /// lookup.
-    fn refresh_entry(&mut self, qm: &QueryMetadata, relation: &str) -> DbResult<GuardCacheKey> {
-        let key = (qm.querier, qm.purpose.clone(), relation.to_string());
-        // One lookup decides both whether to regenerate and whether the
-        // effective expression must fold in newly pending policies.
-        let (needs_generation, stale_pending): (bool, Option<Vec<PolicyId>>) =
-            match self.cache.get(&key) {
-                None => (true, None),
-                Some(c) => {
-                    let needs = self.regeneration_due(c);
-                    let stale = (!needs && c.effective_pending_len != c.pending.len())
-                        .then(|| c.pending.clone());
-                    (needs, stale)
-                }
-            };
-
-        if needs_generation {
-            let expr = self.generate(qm, relation)?;
-            let freed =
-                self.cache
-                    .insert_generated(key.clone(), Arc::new(expr), self.backend_epoch);
-            self.delta.remove(&freed);
-        } else {
-            self.cache.record_hit();
-        }
-
-        // Fold pending policies into the effective expression as per-owner
-        // fallback branches (Section 6: queries between regenerations use
-        // G plus the k new policies). Rebuilt only when the pending set
-        // changed since the last query; a freshly generated entry has no
-        // pending.
-        if let Some(pending) = stale_pending {
-            let mut expr = (*self.cache.get(&key).expect("present").base).clone();
-            let entry = self.backend.table_entry(relation)?;
-            expr.guards.extend(owner_fallback_guards(
-                pending
-                    .iter()
-                    .filter_map(|pid| self.store.get(*pid).map(|p| (*pid, p.owner))),
-                entry,
-            ));
-            let c = self.cache.get_mut(&key).expect("present");
-            c.effective = Arc::new(expr);
-            c.effective_pending_len = pending.len();
-        }
-        Ok(key)
-    }
-
-    /// The compiled relation (effective expression + rewrite fragment) for
-    /// a protected relation, reusing the cached fragment when fresh and
-    /// recompiling it (freeing the superseded ∆ partitions) when not.
-    fn compiled_relation(
-        &mut self,
-        qm: &QueryMetadata,
-        relation: &str,
-    ) -> DbResult<CompiledRelation> {
-        let key = self.refresh_entry(qm, relation)?;
-        let mode = self.options.rewrite.delta_mode;
-        // Warm path: one lookup checks freshness and extracts the output.
-        let fresh = {
-            let c = self.cache.get(&key).expect("refreshed");
-            c.fragment_fresh(mode).then(|| CompiledRelation {
-                expr: Arc::clone(&c.effective),
-                fragment: Arc::clone(&c.fragment.as_ref().expect("fresh implies built").fragment),
-            })
-        };
-        if let Some(out) = fresh {
-            self.cache.record_fragment_hit();
-            return Ok(out);
-        }
-        let (old_keys, effective, pending_len) = {
-            let c = self.cache.get(&key).expect("refreshed");
-            (
-                c.fragment
-                    .as_ref()
-                    .map(|f| f.fragment.delta_keys.clone())
-                    .unwrap_or_default(),
-                Arc::clone(&c.effective),
-                c.pending.len(),
-            )
-        };
-        self.delta.remove(&old_keys);
-        let by_id = self.store.by_id();
-        let fragment = Arc::new(compile_guard_fragment(
-            &self.backend,
-            &self.delta,
-            &effective,
-            &by_id,
-            &self.cost,
-            mode,
-        )?);
-        let c = self.cache.get_mut(&key).expect("refreshed");
-        c.fragment = Some(CachedFragment {
-            fragment: Arc::clone(&fragment),
-            pending_len,
-            delta_mode: mode,
-        });
-        self.cache.record_fragment_build();
-        Ok(CompiledRelation {
-            expr: effective,
-            fragment,
-        })
-    }
-
-    fn generate(&mut self, qm: &QueryMetadata, relation: &str) -> DbResult<GuardedExpression> {
-        let relevant = relevant_policies(self.store.iter(), relation, qm, &self.groups);
-        let entry = self.backend.table_entry(relation)?;
-        let expr = generate_guarded_expression(
-            &relevant,
-            entry,
-            &self.cost,
-            self.options.selection,
-            qm.querier,
-            &qm.purpose,
-            relation,
-        );
-        self.generations += 1;
-        if self.options.persist {
-            persist_guarded_expression(&mut self.backend, &expr, false, &mut self.guard_ids)?;
-        }
-        Ok(expr)
+        self.service.guarded_expression(qm, relation)
     }
 
     /// Rewrite a query for a querier without executing it (Section 5.6's
     /// output; useful for inspection and tests). Satisfied by the guard
-    /// cache on repeat queries: both the guarded expression and its
-    /// compiled rewrite fragment (including ∆ registrations) are reused.
-    ///
-    /// Protected relations are collected over the **whole query tree** —
-    /// derived tables, WITH bodies, and scalar subqueries included — with
-    /// names resolved against the query's WITH scope first (a CTE that
-    /// shadows a protected name is not a base-table read). Every collected
-    /// reference is guarded by [`rewrite_query`]; there is no nesting
-    /// depth at which enforcement is skipped.
+    /// cache on repeat queries.
     pub fn rewrite(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
-        let mut compiled: HashMap<String, CompiledRelation> = HashMap::new();
-        for rel in collect_protected(query, &self.protected) {
-            let cr = self.compiled_relation(qm, &rel)?;
-            compiled.insert(rel, cr);
-        }
-        rewrite_query(&self.backend, query, &compiled, &self.cost, &self.options.rewrite)
-    }
-
-    fn exec_options(&self) -> ExecOptions {
-        ExecOptions {
-            timeout: self.options.timeout,
-        }
+        self.service.rewrite(query, qm)
     }
 
     /// Execute a query under SIEVE enforcement.
     pub fn execute(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<QueryResult> {
-        let rewritten = self.rewrite(query, qm)?;
-        self.backend.exec(&rewritten.query, &self.exec_options())
+        self.service.execute(query, qm)
     }
 
     /// Execute and time a query under any enforcement mechanism; the
@@ -507,203 +292,43 @@ impl<B: SqlBackend> Sieve<B> {
         query: &SelectQuery,
         qm: &QueryMetadata,
     ) -> (DbResult<QueryResult>, ExecStats) {
-        let prepared = match self.prepare(enforcement, query, qm) {
-            Ok(q) => q,
-            Err(e) => {
-                return (
-                    Err(e),
-                    ExecStats {
-                        counters: Default::default(),
-                        wall: Duration::ZERO,
-                        simulated_cost: 0.0,
-                    },
-                )
-            }
-        };
-        let opts = self.exec_options();
-        self.backend.exec_timed(&prepared, &opts)
+        self.service.run_timed(enforcement, query, qm)
     }
 
     /// Produce the executable query for an enforcement mechanism without
-    /// running it (rewriting cost is *not* part of the measured times, as
-    /// in the paper, which reports warm per-query execution).
+    /// running it.
     pub fn prepare(
         &mut self,
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
     ) -> DbResult<SelectQuery> {
-        match enforcement {
-            Enforcement::Sieve => Ok(self.rewrite(query, qm)?.query),
-            Enforcement::NoPolicies => Ok(query.clone()),
-            Enforcement::Baseline(which) => {
-                // The baseline rewrites (policy DNF in WHERE, per-policy
-                // UNION, per-tuple UDF) attach to top-level FROM entries
-                // only; a protected relation read through nesting would
-                // escape them, so they fail closed instead of silently
-                // under-enforcing. Sieve enforcement mediates all depths.
-                let (top, nested) = classify_protected_refs(query, &self.protected);
-                if !nested.is_empty() {
-                    return Err(DbError::Unsupported(format!(
-                        "baseline {which:?} mediates only top-level FROM references; \
-                         protected relation(s) {nested:?} are read through a subquery, \
-                         WITH body, or derived table — use Sieve enforcement"
-                    )));
-                }
-                // Reclaim the previous baseline rewrite's ∆ partitions;
-                // cached guard fragments keep theirs registered.
-                self.delta
-                    .remove(&std::mem::take(&mut self.baseline_delta_keys));
-                let before = self.delta.watermark();
-                let mut rewritten = query.clone();
-                let rels: Vec<String> = top.into_iter().collect();
-                let mut failed = None;
-                for rel in rels {
-                    let relevant =
-                        relevant_policies(self.store.iter(), &rel, qm, &self.groups);
-                    rewritten = match which {
-                        Baseline::P => rewrite_baseline_p(&rewritten, &rel, &relevant),
-                        Baseline::I => rewrite_baseline_i(&rewritten, &rel, &relevant),
-                        Baseline::U => match rewrite_baseline_u(
-                            &self.backend,
-                            &self.delta,
-                            &rewritten,
-                            &rel,
-                            &relevant,
-                        ) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                failed = Some(e);
-                                break;
-                            }
-                        },
-                    };
-                }
-                // Record the bracket even on failure, so partitions
-                // registered before a mid-loop error are reclaimed by the
-                // next baseline rewrite rather than leaked.
-                self.baseline_delta_keys = ((before + 1)..=self.delta.watermark()).collect();
-                match failed {
-                    Some(e) => Err(e),
-                    None => Ok(rewritten),
-                }
-            }
-        }
+        self.service.prepare(enforcement, query, qm)
     }
 
     /// Parse SQL, then [`Sieve::execute`]. Repeat textual queries reuse
     /// the cached AST instead of re-parsing.
     pub fn execute_sql(&mut self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
-        if let Some(q) = self.sql_cache.get(sql) {
-            let q = Arc::clone(q);
-            return self.execute(&q, qm);
-        }
-        let q = Arc::new(minidb::sql::parse(sql)?);
-        if self.sql_cache.len() >= SQL_CACHE_CAP {
-            // Evict the single oldest entry rather than dropping the
-            // whole map: under a churning textual workload a full clear
-            // would re-parse every hot query each `SQL_CACHE_CAP`
-            // insertions, while FIFO eviction keeps the cache pinned at
-            // the cap and guarantees a newly cached query survives the
-            // next `SQL_CACHE_CAP - 1` insertions.
-            if let Some(victim) = self.sql_cache_order.pop_front() {
-                self.sql_cache.remove(&victim);
-            }
-        }
-        self.sql_cache.insert(sql.to_string(), Arc::clone(&q));
-        self.sql_cache_order.push_back(sql.to_string());
-        self.execute(&q, qm)
+        self.service.execute_sql(sql, qm)
     }
 
     /// Number of parsed-SQL cache entries (observability/tests).
     pub fn sql_cache_len(&self) -> usize {
-        self.sql_cache.len()
+        self.service.sql_cache_len()
     }
 
     /// True iff this exact SQL text is cached (observability/tests).
     pub fn sql_cache_contains(&self, sql: &str) -> bool {
-        self.sql_cache.contains_key(sql)
+        self.service.sql_cache_contains(sql)
     }
 
-    /// Warm-populate the guard cache for a batch of concurrent queriers
-    /// (the ROADMAP's batched multi-querier evaluation). Requests are
-    /// grouped by `(purpose, relation)` over the whole query tree; each
-    /// group's policy-store scan and candidate generation (policy
-    /// filtering, histogram estimates, Theorem 1 merges) run **once**,
-    /// and only the per-querier restriction + set cover run individually.
-    /// Generated expressions enter the cache through a single bulk insert
-    /// (one cap check for the batch). Keys already fresh per the
-    /// regeneration policy are left untouched.
-    ///
-    /// Batching changes the work schedule, not the semantics: each
-    /// querier's expression covers exactly its relevant policies, so
-    /// rewriting or executing afterwards returns exactly what sequential
-    /// [`Sieve::execute`] calls would.
+    /// Warm-populate the guard cache for a batch of concurrent queriers;
+    /// see [`SieveService::prepare_batch`].
     pub fn prepare_batch(
         &mut self,
         requests: &[(QueryMetadata, SelectQuery)],
     ) -> DbResult<BatchPrepareReport> {
-        let groups_map = crate::batch::group_requests(requests, &self.protected);
-        let mut report = BatchPrepareReport::default();
-        let mut to_insert: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
-        for ((purpose, relation), qms) in groups_map {
-            let pending: Vec<&QueryMetadata> = qms
-                .iter()
-                .copied()
-                .filter(|qm| {
-                    self.needs_generation(&(
-                        qm.querier,
-                        purpose.clone(),
-                        relation.clone(),
-                    ))
-                })
-                .collect();
-            report.reused += qms.len() - pending.len();
-            if pending.is_empty() {
-                continue;
-            }
-            let entry = self.backend.table_entry(&relation)?;
-            let group = crate::batch::build_shared_group(
-                self.store.iter(),
-                &relation,
-                &purpose,
-                entry,
-                &self.cost,
-            );
-            for qm in &pending {
-                let expr = group.generate_for(
-                    qm,
-                    &self.groups,
-                    entry,
-                    &self.cost,
-                    self.options.selection,
-                );
-                self.generations += 1;
-                to_insert.push((
-                    (qm.querier, purpose.clone(), relation.clone()),
-                    Arc::new(expr),
-                ));
-            }
-            report.generated += pending.len();
-            report.groups.push(BatchGroupReport {
-                purpose: purpose.clone(),
-                relation: relation.clone(),
-                queriers: qms.len(),
-                generated: pending.len(),
-                slice_policies: group.slice_len,
-                shared_candidates: group.shared_candidates(),
-            });
-        }
-        if self.options.persist {
-            for (_, expr) in &to_insert {
-                persist_guarded_expression(&mut self.backend, expr, false, &mut self.guard_ids)?;
-            }
-        }
-        let freed = self
-            .cache
-            .insert_generated_bulk(to_insert, self.backend_epoch);
-        self.delta.remove(&freed);
-        Ok(report)
+        self.service.prepare_batch(requests)
     }
 
     /// Execute a batch of queries under SIEVE enforcement, amortizing
@@ -714,18 +339,16 @@ impl<B: SqlBackend> Sieve<B> {
         &mut self,
         requests: &[(QueryMetadata, SelectQuery)],
     ) -> DbResult<Vec<QueryResult>> {
-        self.prepare_batch(requests)?;
-        requests
-            .iter()
-            .map(|(qm, q)| self.execute(q, qm))
-            .collect()
+        self.service.execute_batch(requests)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filter::relevant_policies;
     use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
+    use crate::service::SQL_CACHE_CAP;
     use minidb::value::DataType;
     use minidb::{DbProfile, TableSchema, Value};
 
@@ -777,14 +400,11 @@ mod tests {
     }
 
     fn oracle_rows(sieve: &Sieve, qm: &QueryMetadata) -> Vec<minidb::Row> {
-        let relevant: Vec<&Policy> = relevant_policies(
-            sieve.store.iter(),
-            "wifi_dataset",
-            qm,
-            &sieve.groups,
-        );
+        let policies = sieve.policies();
+        let relevant: Vec<&Policy> =
+            relevant_policies(policies.iter(), "wifi_dataset", qm, &sieve.groups());
         let mut rows =
-            crate::semantics::visible_rows(sieve.db(), "wifi_dataset", &relevant).unwrap();
+            crate::semantics::visible_rows(&*sieve.db(), "wifi_dataset", &relevant).unwrap();
         rows.sort();
         rows
     }
@@ -844,10 +464,10 @@ mod tests {
         let qm = QueryMetadata::new(500, "Analytics");
         let q = SelectQuery::star_from("wifi_dataset");
         let n0 = sieve.execute(&q, &qm).unwrap().len();
-        let gens_before = sieve.generations;
+        let gens_before = sieve.generations();
         // Re-running does not regenerate.
         sieve.execute(&q, &qm).unwrap();
-        assert_eq!(sieve.generations, gens_before);
+        assert_eq!(sieve.generations(), gens_before);
         // New policy for owner 71 at AP 1001 (owner 71 ⇒ i%10 == 1 ⇒
         // wifi_ap 1001) → more rows visible.
         sieve
@@ -864,7 +484,7 @@ mod tests {
             .unwrap();
         let n1 = sieve.execute(&q, &qm).unwrap().len();
         assert!(n1 > n0);
-        assert_eq!(sieve.generations, gens_before + 1);
+        assert_eq!(sieve.generations(), gens_before + 1);
     }
 
     #[test]
@@ -886,11 +506,11 @@ mod tests {
                 )],
             ))
             .unwrap();
-        let gens = sieve.generations;
+        let gens = sieve.generations();
         // No regeneration, but the pending policy must still be enforced
         // (appended as an extra guard branch).
         let n1 = sieve.execute(&q, &qm).unwrap().len();
-        assert_eq!(sieve.generations, gens);
+        assert_eq!(sieve.generations(), gens);
         assert!(n1 > n0);
     }
 
@@ -939,10 +559,10 @@ mod tests {
         let qm = QueryMetadata::new(500, "Analytics");
         let q = SelectQuery::star_from("wifi_dataset");
         let n0 = sieve.execute(&q, &qm).unwrap().len();
-        let gens = sieve.generations;
+        let gens = sieve.generations();
         // Re-running is a cache hit.
         sieve.execute(&q, &qm).unwrap();
-        assert_eq!(sieve.generations, gens);
+        assert_eq!(sieve.generations(), gens);
         // Out-of-band mutation through db_mut: new rows for owner 0 at the
         // allowed AP. The cached guard (and its ∆/fragment state) was
         // generated against the old data; the epoch bump must force lazy
@@ -966,13 +586,13 @@ mod tests {
         let n1 = sieve.execute(&q, &qm).unwrap().len();
         assert_eq!(n1, n0 + 5, "out-of-band rows must be enforced & visible");
         assert_eq!(
-            sieve.generations,
+            sieve.generations(),
             gens + 1,
             "stale-epoch entry must regenerate exactly once"
         );
         // And only once: the regenerated entry is fresh again.
         sieve.execute(&q, &qm).unwrap();
-        assert_eq!(sieve.generations, gens + 1);
+        assert_eq!(sieve.generations(), gens + 1);
     }
 
     #[test]
@@ -990,7 +610,7 @@ mod tests {
         let qm = QueryMetadata::new(500, "Analytics");
         // Churn through more distinct texts than the cache holds: the
         // cache must stay pinned at the cap (single-entry FIFO eviction),
-        // never empty out the way the old full clear() did.
+        // never empty out the way a full clear() would.
         let sql_for = |i: usize| {
             format!("SELECT * FROM wifi_dataset WHERE wifi_ap = {}", 1000 + i as i64)
         };
@@ -1028,5 +648,18 @@ mod tests {
         // 20 owners × 50 rows at AP 1001 each... exactly the oracle count.
         let expect = oracle_rows(&sieve, &qm).len() as i64;
         assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn wrapper_graduates_to_service_and_sessions() {
+        let sieve = loaded_sieve(DbProfile::MySqlLike);
+        let qm = QueryMetadata::new(500, "Analytics");
+        let q = SelectQuery::star_from("wifi_dataset");
+        let expect = oracle_rows(&sieve, &qm);
+        let service = sieve.into_service();
+        let session = service.session(qm);
+        let mut rows = session.execute(&q).unwrap().rows;
+        rows.sort();
+        assert_eq!(rows, expect, "session path must match the façade path");
     }
 }

@@ -37,7 +37,7 @@
 
 use crate::backend::SqlBackend;
 use crate::cost::{AccessStrategy, CostModel};
-use crate::delta::{delta_call_expr, DeltaRegistry, PartitionKey};
+use crate::delta::{delta_call_expr, DeltaRegistry, PartitionHandle, PartitionKey};
 use crate::guard::GuardedExpression;
 use crate::policy::{Policy, PolicyId};
 use minidb::error::DbResult;
@@ -98,6 +98,12 @@ pub struct RewriteOutput {
     pub query: SelectQuery,
     /// Decisions, one per protected relation occurrence.
     pub relations: Vec<RelationRewrite>,
+    /// The compiled fragments the query was assembled from. Holding them
+    /// pins the fragments' ∆ partitions (see [`PartitionHandle`]): the
+    /// rewritten `query` embeds raw partition keys, so it stays executable
+    /// for the lifetime of this output even if a concurrent invalidation
+    /// replaces the cached fragments meanwhile.
+    pub fragments: Vec<Arc<GuardFragment>>,
 }
 
 /// One guard branch compiled to engine expressions: the guard predicate
@@ -124,12 +130,22 @@ pub struct GuardFragment {
     pub est_guard_rows: f64,
     /// How many branches route their partition through ∆.
     pub delta_guards: usize,
-    /// ∆ partition keys this fragment registered; freed when the fragment
-    /// is invalidated or recompiled.
-    pub delta_keys: Vec<PartitionKey>,
+    /// RAII leases on the ∆ partitions this fragment registered: the
+    /// partitions stay resolvable while any clone of the fragment (or of
+    /// a [`RewriteOutput`] built from it) is alive, and are freed when the
+    /// last one drops — no manual reclamation, no use-after-free under
+    /// concurrent invalidation.
+    pub partitions: Vec<PartitionHandle>,
     /// The inline-vs-∆ policy the fragment was compiled under; a cached
     /// fragment is stale when the middleware's option has changed.
     pub delta_mode: DeltaMode,
+}
+
+impl GuardFragment {
+    /// Keys of the ∆ partitions this fragment registered (observability).
+    pub fn delta_keys(&self) -> Vec<PartitionKey> {
+        self.partitions.iter().map(|h| h.key()).collect()
+    }
 }
 
 /// A guarded expression paired with its compiled fragment — what the
@@ -147,7 +163,7 @@ pub struct CompiledRelation {
 /// registering a ∆ partition per the cost model) exactly once.
 pub fn compile_guard_fragment(
     backend: &dyn SqlBackend,
-    delta: &DeltaRegistry,
+    delta: &Arc<DeltaRegistry>,
     ge: &GuardedExpression,
     by_id: &HashMap<PolicyId, &Policy>,
     cost: &CostModel,
@@ -156,7 +172,7 @@ pub fn compile_guard_fragment(
     let entry = backend.table_entry(&ge.relation)?;
     let schema = entry.schema();
     let mut branches = Vec::with_capacity(ge.guards.len());
-    let mut delta_keys = Vec::new();
+    let mut partitions = Vec::new();
     let mut delta_guards = 0usize;
     for g in &ge.guards {
         let partition_policies: Vec<&Policy> = g
@@ -179,9 +195,10 @@ pub fn compile_guard_fragment(
             };
         let partition = if use_delta {
             delta_guards += 1;
-            let key = delta.register_partition(schema, &partition_policies)?;
-            delta_keys.push(key);
-            delta_call_expr(key, schema)
+            let handle = delta.register_partition(schema, &partition_policies)?;
+            let expr = delta_call_expr(handle.key(), schema);
+            partitions.push(handle);
+            expr
         } else {
             Expr::any(partition_policies.iter().map(|p| p.to_expr()).collect())
         };
@@ -199,7 +216,7 @@ pub fn compile_guard_fragment(
         guard_attrs,
         est_guard_rows: ge.total_guard_rows(),
         delta_guards,
-        delta_keys,
+        partitions,
         delta_mode,
     })
 }
@@ -208,7 +225,7 @@ pub fn compile_guard_fragment(
 /// used by tests and direct callers without a middleware cache).
 pub fn compile_relations(
     backend: &dyn SqlBackend,
-    delta: &DeltaRegistry,
+    delta: &Arc<DeltaRegistry>,
     guarded: &HashMap<String, GuardedExpression>,
     by_id: &HashMap<PolicyId, &Policy>,
     cost: &CostModel,
@@ -746,6 +763,7 @@ pub fn rewrite_query(
     Ok(RewriteOutput {
         query: out_query,
         relations: rw.decisions,
+        fragments: compiled.values().map(|cr| Arc::clone(&cr.fragment)).collect(),
     })
 }
 
@@ -831,7 +849,7 @@ mod tests {
 
     fn compiled_for<'a>(
         db: &Database,
-        delta: &DeltaRegistry,
+        delta: &Arc<DeltaRegistry>,
         guarded: &HashMap<String, GuardedExpression>,
         policies: &'a [Policy],
         cost: &CostModel,

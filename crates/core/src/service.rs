@@ -1,0 +1,1121 @@
+//! The concurrent middleware service — SIEVE as a shared `&self` object.
+//!
+//! The paper positions SIEVE as middleware that many queriers hit
+//! *simultaneously*; [`SieveService`] is that deployment shape in code.
+//! It is `Send + Sync` and cheaply clonable (all state behind one `Arc`),
+//! and the **entire read/query path** — [`SieveService::rewrite`],
+//! [`SieveService::execute`], [`SieveService::execute_sql`],
+//! [`SieveService::prepare_batch`] — takes `&self`, so any number of
+//! connection threads drive one service concurrently. Mutation
+//! ([`SieveService::add_policy`], [`SieveService::with_backend_mut`], …)
+//! also goes through `&self`, serialized by the write sides of the
+//! internal locks.
+//!
+//! # Internal locking
+//!
+//! State is split so the warm path shares everything:
+//!
+//! * policy store, group directory, cost model, options, protected set —
+//!   each behind its own `RwLock` (read-mostly; `add_policy` takes the
+//!   store's write lock only to append);
+//! * the [`GuardCache`] is sharded — a warm hit takes one shard's *read*
+//!   lock (see [`crate::cache`]);
+//! * the backend sits behind a `RwLock<B>`: queries execute under the
+//!   read lock (engines execute through `&self`), out-of-band mutation
+//!   takes the write lock and bumps the **backend epoch** exactly like
+//!   `Sieve::db_mut` always did;
+//! * ∆ partitions are reference-counted
+//!   ([`crate::delta::PartitionHandle`]) so invalidation can never free a
+//!   partition a concurrent query still references.
+//!
+//! Lock order (outer → inner): `store → groups → cost/options →
+//! protected → backend → cache shard → sql cache`, with the persist
+//! state, baseline pins and the ∆ registry as leaves. Cache closures
+//! never take other locks.
+//!
+//! # Consistency under concurrent `add_policy`
+//!
+//! Guard generation runs **while holding the store's read lock** and
+//! publishes into the cache before releasing it. `add_policy` appends
+//! under the store's *write* lock, then sweeps the cache marking affected
+//! keys outdated. The lock forces one of two orders: either the generator
+//! read the store after the append (its expression already covers the new
+//! policy), or the generator published before the append completed — in
+//! which case the sweep, which runs strictly after the append, finds the
+//! entry and marks it. A query that *starts* after `add_policy` returns
+//! can therefore never run under a guard that silently misses the policy;
+//! queries already in flight linearize before it, exactly like a query
+//! racing a policy insert on a single thread.
+//!
+//! Per-querier state lives in [`crate::session::Session`] handles (the
+//! object a wire server would hand each connection), and
+//! [`crate::session::Prepared`] pins a compiled rewrite for repeated
+//! execution with zero cache traffic while fresh.
+
+use crate::backend::{MinidbBackend, SqlBackend};
+use crate::baselines::{
+    rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
+};
+use crate::batch::{BatchGroupReport, BatchPrepareReport};
+use crate::cache::{CachedFragment, CachedGuard, GuardCache, GuardCacheKey, GuardCacheStats};
+use crate::cost::CostModel;
+use crate::delta::{DeltaRegistry, PartitionHandle};
+use crate::dynamic::{optimal_regeneration_interval, RegenerationPolicy};
+use crate::filter::{policy_applies, relevant_policies, GroupDirectory};
+use crate::guard::{
+    generate_guarded_expression, owner_fallback_guards, GuardedExpression,
+};
+use crate::middleware::{Enforcement, SieveOptions};
+use crate::policy::{Policy, PolicyId, QueryMetadata};
+use crate::rewrite::{
+    classify_protected_refs, collect_protected, compile_guard_fragment, rewrite_query,
+    CompiledRelation, RewriteOutput,
+};
+use crate::store::{
+    create_policy_tables, persist_guarded_expression, persist_policy, GuardTableIds,
+    PolicyStore,
+};
+use minidb::error::{DbError, DbResult};
+use minidb::exec::ExecOptions;
+use minidb::plan::SelectQuery;
+use minidb::stats::ExecStats;
+use minidb::{Database, QueryResult};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bound on the parsed-SQL cache (entries); repeat textual queries skip
+/// the parser. Eviction is FIFO, one entry at a time.
+pub const SQL_CACHE_CAP: usize = 256;
+
+/// Below this many per-querier generations a batch group stays on the
+/// calling thread — spawning costs more than the set covers save.
+const PARALLEL_BATCH_MIN: usize = 8;
+
+/// How many recent [`SieveService::prepare`] outputs keep their ∆
+/// partitions pinned service-side. Covers the experiment harness's
+/// prepare-then-execute pattern (including a handful of interleaved
+/// prepares from other threads) without letting discarded prepared
+/// queries pin partitions forever.
+pub const BASELINE_PIN_SLOTS: usize = 16;
+
+/// Everything that keeps one prepared query executable: the compiled
+/// fragments it references (Sieve path) and directly registered ∆
+/// handles (Baseline U path).
+#[derive(Default)]
+struct PreparePins {
+    fragments: Vec<Arc<crate::rewrite::GuardFragment>>,
+    handles: Vec<PartitionHandle>,
+}
+
+/// A read guard projected to a component of the locked value (e.g. the
+/// `Database` inside a locked `MinidbBackend`). Derefs to the projection;
+/// holding it holds the underlying read lock.
+pub struct MappedReadGuard<'a, T: ?Sized, U: ?Sized> {
+    guard: RwLockReadGuard<'a, T>,
+    map: fn(&T) -> &U,
+}
+
+impl<T: ?Sized, U: ?Sized> Deref for MappedReadGuard<'_, T, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        (self.map)(&self.guard)
+    }
+}
+
+pub(crate) struct PersistState {
+    pub(crate) guard_ids: GuardTableIds,
+    pub(crate) oc_id: i64,
+}
+
+struct SqlCache {
+    map: HashMap<String, Arc<SelectQuery>>,
+    /// Insertion order — FIFO eviction at the cap, so a long-lived hot
+    /// entry survives ~`SQL_CACHE_CAP` insertions rather than being an
+    /// arbitrary hash-order victim.
+    order: VecDeque<String>,
+}
+
+/// Everything one service instance shares across its clones, sessions and
+/// prepared statements.
+pub(crate) struct ServiceShared<B: SqlBackend> {
+    pub(crate) backend: RwLock<B>,
+    /// Backend write-epoch: bumped on every mutable backend access, so
+    /// guards generated before an out-of-band write are detectably stale.
+    pub(crate) backend_epoch: AtomicU64,
+    /// Policy/configuration revision: bumped by `add_policy`, `protect`,
+    /// option/cost/group mutation and `invalidate_all`. A
+    /// [`crate::session::Prepared`] plan records the revision it was
+    /// built under and transparently re-prepares when it trails.
+    pub(crate) revision: AtomicU64,
+    pub(crate) store: RwLock<PolicyStore>,
+    pub(crate) groups: RwLock<GroupDirectory>,
+    pub(crate) cost: RwLock<CostModel>,
+    pub(crate) options: RwLock<SieveOptions>,
+    pub(crate) delta: Arc<DeltaRegistry>,
+    pub(crate) cache: GuardCache,
+    pub(crate) protected: RwLock<HashSet<String>>,
+    pub(crate) persist: Mutex<PersistState>,
+    /// Pins of the last [`BASELINE_PIN_SLOTS`] `prepare` outputs, oldest
+    /// dropped first (see [`SieveService::prepare`] for the contract). A
+    /// mutex because `prepare` is an experiment path, not the concurrent
+    /// hot path.
+    baseline_pins: Mutex<VecDeque<PreparePins>>,
+    sql_cache: RwLock<SqlCache>,
+    pub(crate) generations: AtomicU64,
+}
+
+/// The concurrent SIEVE middleware handle. Clones share all state; see
+/// the [module docs](self) for the locking design. The single-owner
+/// [`crate::Sieve`] façade is a thin wrapper over this type.
+pub struct SieveService<B: SqlBackend = MinidbBackend> {
+    pub(crate) inner: Arc<ServiceShared<B>>,
+}
+
+impl<B: SqlBackend> Clone for SieveService<B> {
+    fn clone(&self) -> Self {
+        SieveService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl SieveService<MinidbBackend> {
+    /// Wrap an in-process database behind the default backend. Installs
+    /// the ∆ UDF; creates the policy relations when persistence is on.
+    pub fn new(db: Database, options: SieveOptions) -> DbResult<Self> {
+        Self::with_backend(MinidbBackend::new(db), options)
+    }
+
+    /// Read access to the wrapped database (holds the backend read lock).
+    ///
+    /// Do not call back into the service while holding this guard: a
+    /// writer queued behind it would deadlock the re-entrant read.
+    pub fn db(&self) -> MappedReadGuard<'_, MinidbBackend, Database> {
+        MappedReadGuard {
+            guard: self.inner.backend.read(),
+            map: |b| b.db(),
+        }
+    }
+
+    /// Run `f` with mutable access to the wrapped database (e.g. for
+    /// loading data). Takes the backend write lock — waits for in-flight
+    /// queries — and bumps the backend epoch: guards generated before
+    /// this access regenerate lazily on their next use.
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        self.with_backend_mut(|b| f(b.db_mut()))
+    }
+}
+
+impl<B: SqlBackend> SieveService<B> {
+    /// Wrap an arbitrary execution backend. Installs the ∆ UDF; creates
+    /// the policy relations when persistence is on.
+    pub fn with_backend(mut backend: B, options: SieveOptions) -> DbResult<Self> {
+        let delta = DeltaRegistry::new();
+        delta.install(&mut backend);
+        if options.persist {
+            create_policy_tables(&mut backend)?;
+        }
+        Ok(SieveService {
+            inner: Arc::new(ServiceShared {
+                backend: RwLock::new(backend),
+                backend_epoch: AtomicU64::new(0),
+                revision: AtomicU64::new(0),
+                store: RwLock::new(PolicyStore::new()),
+                groups: RwLock::new(GroupDirectory::new()),
+                cost: RwLock::new(CostModel::default()),
+                options: RwLock::new(options),
+                delta,
+                cache: GuardCache::new(),
+                protected: RwLock::new(HashSet::new()),
+                persist: Mutex::new(PersistState {
+                    guard_ids: GuardTableIds::default(),
+                    oc_id: 0,
+                }),
+                baseline_pins: Mutex::new(VecDeque::new()),
+                sql_cache: RwLock::new(SqlCache {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                }),
+                generations: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A per-querier session handle carrying `qm` for every call.
+    pub fn session(&self, qm: QueryMetadata) -> crate::session::Session<B> {
+        crate::session::Session::new(self.clone(), qm)
+    }
+
+    /// Read access to the execution backend (holds the backend read
+    /// lock). Do not call back into the service while holding the guard.
+    pub fn backend(&self) -> RwLockReadGuard<'_, B> {
+        self.inner.backend.read()
+    }
+
+    /// Run `f` with mutable backend access. Takes the backend write lock
+    /// and bumps the backend epoch, exactly like [`crate::Sieve::db_mut`]:
+    /// any cached guard generated before this access is treated as stale
+    /// and regenerated on its next use.
+    pub fn with_backend_mut<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
+        let mut backend = self.inner.backend.write();
+        self.inner.backend_epoch.fetch_add(1, Ordering::SeqCst);
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+        f(&mut backend)
+    }
+
+    /// The current backend write-epoch (observability/tests).
+    pub fn backend_epoch(&self) -> u64 {
+        self.inner.backend_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The current policy/configuration revision (observability; prepared
+    /// statements re-prepare when it moves).
+    pub fn revision(&self) -> u64 {
+        self.inner.revision.load(Ordering::SeqCst)
+    }
+
+    /// Current cost model (copy).
+    pub fn cost_model(&self) -> CostModel {
+        *self.inner.cost.read()
+    }
+
+    /// Replace the cost model (e.g. after [`crate::cost::calibrate`]).
+    pub fn set_cost_model(&self, cost: CostModel) {
+        *self.inner.cost.write() = cost;
+        self.invalidate_all();
+    }
+
+    /// Calibrate the cost model against a loaded table (Section 5.4).
+    pub fn calibrate(&self, table: &str, sample_rows: usize) -> DbResult<()> {
+        let policies: Vec<Policy> =
+            self.inner.store.read().iter().take(64).cloned().collect();
+        let refs: Vec<&Policy> = policies.iter().collect();
+        let model = {
+            let backend = self.inner.backend.read();
+            crate::cost::calibrate(&*backend, table, &refs, sample_rows)?
+        };
+        *self.inner.cost.write() = model;
+        self.invalidate_all();
+        Ok(())
+    }
+
+    /// Read access to the group directory (holds its read lock).
+    pub fn groups(&self) -> RwLockReadGuard<'_, GroupDirectory> {
+        self.inner.groups.read()
+    }
+
+    /// Run `f` with mutable access to the group directory. Bumps the
+    /// revision; cached expressions are *not* invalidated (membership
+    /// changes have never retro-invalidated guards — parity with the
+    /// single-owner façade), but prepared statements re-prepare.
+    pub fn with_groups_mut<R>(&self, f: impl FnOnce(&mut GroupDirectory) -> R) -> R {
+        let mut groups = self.inner.groups.write();
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+        f(&mut groups)
+    }
+
+    /// Options in effect (clone).
+    pub fn options(&self) -> SieveOptions {
+        self.inner.options.read().clone()
+    }
+
+    /// Read access to the options (holds their read lock).
+    pub fn options_ref(&self) -> RwLockReadGuard<'_, SieveOptions> {
+        self.inner.options.read()
+    }
+
+    /// Run `f` with mutable access to the options (e.g. to force a
+    /// strategy between runs). Bumps the revision so prepared statements
+    /// re-prepare under the new options.
+    pub fn with_options_mut<R>(&self, f: impl FnOnce(&mut SieveOptions) -> R) -> R {
+        let mut options = self.inner.options.write();
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+        f(&mut options)
+    }
+
+    /// Number of registered policies.
+    pub fn policy_count(&self) -> usize {
+        self.inner.store.read().len()
+    }
+
+    /// Snapshot of the registered policies (clones; oracle/test use).
+    pub fn policies(&self) -> Vec<Policy> {
+        self.inner.store.read().iter().cloned().collect()
+    }
+
+    /// Register a policy. Marks affected guarded expressions outdated and
+    /// (optionally) persists to the policy relations. See the module docs
+    /// for why a query starting after this returns can never miss the
+    /// policy.
+    pub fn add_policy(&self, policy: Policy) -> DbResult<PolicyId> {
+        let (id, stored) = {
+            let mut store = self.inner.store.write();
+            let id = store.add(policy);
+            (id, store.get(id).expect("just inserted").clone())
+        };
+        self.inner.protected.write().insert(stored.relation.clone());
+        // Persist failure must not short-circuit: the policy is already
+        // committed to the store, so the invalidation sweep and revision
+        // bump below have to run regardless or cached guards would keep
+        // serving a view the store contradicts. The error is surfaced
+        // after enforcement state is consistent.
+        let persisted = if self.inner.options.read().persist {
+            let mut backend = self.inner.backend.write();
+            let mut persist = self.inner.persist.lock();
+            persist_policy(&mut *backend, &stored, &mut persist.oc_id)
+        } else {
+            Ok(())
+        };
+        // Outdate exactly the cached expressions the policy affects (the
+        // precise invalidation path of Section 6's delta machinery).
+        {
+            let groups = self.inner.groups.read();
+            self.inner
+                .cache
+                .invalidate_where(id, |(querier, purpose, relation)| {
+                    *relation == stored.relation && {
+                        let qm = QueryMetadata::new(*querier, purpose.clone());
+                        policy_applies(&stored, &qm, &groups)
+                    }
+                });
+        }
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+        persisted.map(|()| id)
+    }
+
+    /// Bulk registration.
+    pub fn add_policies(&self, policies: impl IntoIterator<Item = Policy>) -> DbResult<()> {
+        for p in policies {
+            self.add_policy(p)?;
+        }
+        Ok(())
+    }
+
+    /// Drop all cached guarded expressions; their ∆ partitions are freed
+    /// as the last in-flight pins drop.
+    pub fn invalidate_all(&self) {
+        self.inner.cache.clear();
+        self.inner.baseline_pins.lock().clear();
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Guard-cache counters (hits, misses, invalidations, fragment work).
+    pub fn cache_stats(&self) -> GuardCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Guarded-expression generations performed (observability).
+    pub fn generations(&self) -> u64 {
+        self.inner.generations.load(Ordering::Relaxed)
+    }
+
+    /// Live ∆ partitions (observability: cached fragments keep theirs
+    /// registered; precise invalidation must keep this bounded).
+    pub fn delta_len(&self) -> usize {
+        self.inner.delta.len()
+    }
+
+    /// Declare a relation access-controlled even before any policy exists
+    /// for it. Under the opt-out default (Section 3.1) a protected
+    /// relation with no applicable policies yields **no rows**.
+    /// [`SieveService::add_policy`] protects the policy's relation
+    /// implicitly.
+    pub fn protect(&self, relation: impl Into<String>) {
+        self.inner.protected.write().insert(relation.into());
+        self.inner.revision.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Read access to the protected-relation set (holds its read lock).
+    pub fn protected_relations(&self) -> RwLockReadGuard<'_, HashSet<String>> {
+        self.inner.protected.read()
+    }
+
+    fn snapshot_config(&self) -> (SieveOptions, CostModel) {
+        (self.inner.options.read().clone(), *self.inner.cost.read())
+    }
+
+    /// True iff the entry must be regenerated before use: its backend
+    /// epoch trails (out-of-band data/schema mutation — a correctness
+    /// hazard that overrides the regeneration policy), or it is outdated
+    /// and due under the configured policy (Section 6's threshold for
+    /// `OptimalRate`).
+    fn regeneration_due(&self, c: &CachedGuard, opts: &SieveOptions, cost: &CostModel) -> bool {
+        if c.epoch != self.inner.backend_epoch.load(Ordering::SeqCst) {
+            return true;
+        }
+        c.outdated
+            && match opts.regeneration {
+                RegenerationPolicy::Immediate => true,
+                RegenerationPolicy::Manual => false,
+                RegenerationPolicy::OptimalRate {
+                    queries_per_insertion,
+                } => {
+                    let guards = c.base.guards.len().max(1) as f64;
+                    let rho_avg = c.base.total_guard_rows() / guards;
+                    let k = optimal_regeneration_interval(
+                        cost,
+                        rho_avg,
+                        queries_per_insertion,
+                    );
+                    c.pending.len() as f64 >= k
+                }
+            }
+    }
+
+    /// True iff the key requires a fresh generation: no cache entry, or an
+    /// outdated one past its regeneration threshold.
+    fn needs_generation(&self, key: &GuardCacheKey, opts: &SieveOptions, cost: &CostModel) -> bool {
+        self.inner
+            .cache
+            .read(key, |c| self.regeneration_due(c, opts, cost))
+            .unwrap_or(true)
+    }
+
+    /// Ensure the cache entry exists and is fresh per the regeneration
+    /// policy, with its effective expression (base + pending branches)
+    /// up to date. Returns the cache key. The warm path is a single shard
+    /// read lock. Retries on validation failure against concurrent
+    /// invalidation — each retry re-reads the world, so the loop
+    /// terminates once no writer interleaves.
+    fn refresh_entry(
+        &self,
+        qm: &QueryMetadata,
+        relation: &str,
+        opts: &SieveOptions,
+        cost: &CostModel,
+    ) -> DbResult<GuardCacheKey> {
+        let key: GuardCacheKey = (qm.querier, qm.purpose.clone(), relation.to_string());
+        enum Need {
+            Fresh,
+            Generate,
+            Fold(Vec<PolicyId>),
+        }
+        loop {
+            let need = self
+                .inner
+                .cache
+                .read(&key, |c| {
+                    if self.regeneration_due(c, opts, cost) {
+                        Need::Generate
+                    } else if c.effective_pending_len != c.pending.len() {
+                        Need::Fold(c.pending.clone())
+                    } else {
+                        Need::Fresh
+                    }
+                })
+                .unwrap_or(Need::Generate);
+            match need {
+                Need::Fresh => {
+                    self.inner.cache.record_hit();
+                    return Ok(key);
+                }
+                Need::Generate => {
+                    // Hold the store read lock across generation AND the
+                    // cache publish — the consistency argument with
+                    // `add_policy` (module docs) depends on it.
+                    let store = self.inner.store.read();
+                    let groups = self.inner.groups.read();
+                    // Double-check under the store lock: another thread
+                    // may have generated while we waited.
+                    if !self.needs_generation(&key, opts, cost) {
+                        continue;
+                    }
+                    let epoch = self.inner.backend_epoch.load(Ordering::SeqCst);
+                    let expr = {
+                        let backend = self.inner.backend.read();
+                        let relevant =
+                            relevant_policies(store.iter(), relation, qm, &groups);
+                        let entry = backend.table_entry(relation)?;
+                        generate_guarded_expression(
+                            &relevant,
+                            entry,
+                            cost,
+                            opts.selection,
+                            qm.querier,
+                            &qm.purpose,
+                            relation,
+                        )
+                    };
+                    self.inner.generations.fetch_add(1, Ordering::Relaxed);
+                    if opts.persist {
+                        let mut backend = self.inner.backend.write();
+                        let mut persist = self.inner.persist.lock();
+                        persist_guarded_expression(
+                            &mut *backend,
+                            &expr,
+                            false,
+                            &mut persist.guard_ids,
+                        )?;
+                    }
+                    self.inner
+                        .cache
+                        .insert_generated(key.clone(), Arc::new(expr), epoch);
+                    return Ok(key);
+                }
+                Need::Fold(pending) => {
+                    // Fold pending policies into the effective expression
+                    // as per-owner fallback branches (Section 6: queries
+                    // between regenerations use G plus the k new
+                    // policies). Rebuilt only when the pending set changed
+                    // since the last query.
+                    let store = self.inner.store.read();
+                    let base = match self.inner.cache.read(&key, |c| Arc::clone(&c.base)) {
+                        Some(b) => b,
+                        None => continue, // evicted meanwhile — regenerate
+                    };
+                    let mut expr = (*base).clone();
+                    {
+                        let backend = self.inner.backend.read();
+                        let entry = backend.table_entry(relation)?;
+                        expr.guards.extend(owner_fallback_guards(
+                            pending
+                                .iter()
+                                .filter_map(|pid| store.get(*pid).map(|p| (*pid, p.owner))),
+                            entry,
+                        ));
+                    }
+                    let effective = Arc::new(expr);
+                    let installed = self
+                        .inner
+                        .cache
+                        .write(&key, |c| {
+                            if c.pending == pending {
+                                c.effective = Arc::clone(&effective);
+                                c.effective_pending_len = pending.len();
+                                true
+                            } else {
+                                false
+                            }
+                        })
+                        .unwrap_or(false);
+                    if installed {
+                        self.inner.cache.record_hit();
+                        return Ok(key);
+                    }
+                    // Pending set moved under us — retry from the top.
+                }
+            }
+        }
+    }
+
+    /// The compiled relation (effective expression + rewrite fragment) for
+    /// a protected relation, reusing the cached fragment when fresh and
+    /// recompiling it when not. Superseded fragments free their ∆
+    /// partitions once the last in-flight query drops its pin.
+    fn compiled_relation(
+        &self,
+        qm: &QueryMetadata,
+        relation: &str,
+        opts: &SieveOptions,
+        cost: &CostModel,
+    ) -> DbResult<CompiledRelation> {
+        let mode = opts.rewrite.delta_mode;
+        let key = self.refresh_entry(qm, relation, opts, cost)?;
+        loop {
+            // Warm path: one shard read checks freshness and clones the
+            // Arcs out.
+            let fresh = self.inner.cache.read(&key, |c| {
+                c.fragment_fresh(mode).then(|| CompiledRelation {
+                    expr: Arc::clone(&c.effective),
+                    fragment: Arc::clone(
+                        &c.fragment.as_ref().expect("fresh implies built").fragment,
+                    ),
+                })
+            });
+            match fresh {
+                Some(Some(out)) => {
+                    self.inner.cache.record_fragment_hit();
+                    return Ok(out);
+                }
+                Some(None) => {}
+                None => {
+                    // Entry evicted — refresh and retry.
+                    self.refresh_entry(qm, relation, opts, cost)?;
+                    continue;
+                }
+            }
+            // Compile outside the shard lock; the store lock keeps the
+            // policy view consistent with what we install.
+            let store = self.inner.store.read();
+            let (effective, pending_len) = match self
+                .inner
+                .cache
+                .read(&key, |c| (Arc::clone(&c.effective), c.pending.len()))
+            {
+                Some(t) => t,
+                None => {
+                    drop(store);
+                    self.refresh_entry(qm, relation, opts, cost)?;
+                    continue;
+                }
+            };
+            let fragment = {
+                let backend = self.inner.backend.read();
+                let by_id = store.by_id();
+                Arc::new(compile_guard_fragment(
+                    &*backend,
+                    &self.inner.delta,
+                    &effective,
+                    &by_id,
+                    cost,
+                    mode,
+                )?)
+            };
+            let installed = self
+                .inner
+                .cache
+                .write(&key, |c| {
+                    if c.fragment_fresh(mode) {
+                        // Another thread won the compile race; use theirs.
+                        return Some(CompiledRelation {
+                            expr: Arc::clone(&c.effective),
+                            fragment: Arc::clone(
+                                &c.fragment.as_ref().expect("fresh implies built").fragment,
+                            ),
+                        });
+                    }
+                    if Arc::ptr_eq(&c.effective, &effective) {
+                        c.fragment = Some(CachedFragment {
+                            fragment: Arc::clone(&fragment),
+                            pending_len,
+                            delta_mode: mode,
+                        });
+                        return Some(CompiledRelation {
+                            expr: Arc::clone(&effective),
+                            fragment: Arc::clone(&fragment),
+                        });
+                    }
+                    None // effective moved under us — ours is stale
+                })
+                .flatten();
+            match installed {
+                Some(out) => {
+                    self.inner.cache.record_fragment_build();
+                    return Ok(out);
+                }
+                None => {
+                    // Entry evicted or regenerated mid-compile; our
+                    // fragment drops here, freeing its partitions.
+                    drop(store);
+                    self.refresh_entry(qm, relation, opts, cost)?;
+                }
+            }
+        }
+    }
+
+    /// Rewrite a query for a querier without executing it (Section 5.6's
+    /// output). Satisfied by the guard cache on repeat queries: both the
+    /// guarded expression and its compiled rewrite fragment (including ∆
+    /// registrations) are reused. The returned output pins the fragments
+    /// it references, so the query stays executable even if a concurrent
+    /// `add_policy` invalidates the cache entries meanwhile.
+    ///
+    /// Protected relations are collected over the **whole query tree** —
+    /// derived tables, WITH bodies, and scalar subqueries included — with
+    /// names resolved against the query's WITH scope first (a CTE that
+    /// shadows a protected name is not a base-table read). There is no
+    /// nesting depth at which enforcement is skipped.
+    pub fn rewrite(&self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
+        let (opts, cost) = self.snapshot_config();
+        let rels = {
+            let protected = self.inner.protected.read();
+            collect_protected(query, &protected)
+        };
+        let mut compiled: HashMap<String, CompiledRelation> = HashMap::new();
+        for rel in rels {
+            let cr = self.compiled_relation(qm, &rel, &opts, &cost)?;
+            compiled.insert(rel, cr);
+        }
+        let backend = self.inner.backend.read();
+        rewrite_query(&*backend, query, &compiled, &cost, &opts.rewrite)
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            timeout: self.inner.options.read().timeout,
+        }
+    }
+
+    /// Execute a query under SIEVE enforcement.
+    pub fn execute(&self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<QueryResult> {
+        let rewritten = self.rewrite(query, qm)?;
+        let opts = self.exec_options();
+        let backend = self.inner.backend.read();
+        backend.exec(&rewritten.query, &opts)
+    }
+
+    /// Execute an already-rewritten query (the [`crate::session::Prepared`]
+    /// hot path: no cache traffic at all — the caller pins the fragments).
+    pub(crate) fn exec_prepared(&self, query: &SelectQuery) -> DbResult<QueryResult> {
+        let opts = self.exec_options();
+        let backend = self.inner.backend.read();
+        backend.exec(query, &opts)
+    }
+
+    /// Execute and time a query under any enforcement mechanism; the
+    /// experiment harness's single entry point. Timing shares the
+    /// backend's statistics sink — drive it single-threaded. The ∆
+    /// partitions of the prepared query are pinned locally across the
+    /// execution, so a concurrent invalidation cannot fail the run.
+    pub fn run_timed(
+        &self,
+        enforcement: Enforcement,
+        query: &SelectQuery,
+        qm: &QueryMetadata,
+    ) -> (DbResult<QueryResult>, ExecStats) {
+        let (prepared, _pins) = match self.prepare_pinned(enforcement, query, qm) {
+            Ok(t) => t,
+            Err(e) => {
+                return (
+                    Err(e),
+                    ExecStats {
+                        counters: Default::default(),
+                        wall: Duration::ZERO,
+                        simulated_cost: 0.0,
+                    },
+                )
+            }
+        };
+        let opts = self.exec_options();
+        let backend = self.inner.backend.read();
+        backend.exec_timed(&prepared, &opts)
+    }
+
+    /// Produce the executable query for an enforcement mechanism without
+    /// running it (rewriting cost is *not* part of the measured times, as
+    /// in the paper, which reports warm per-query execution).
+    ///
+    /// The returned query's ∆ partitions are pinned in a bounded
+    /// service-side slot until [`BASELINE_PIN_SLOTS`] further `prepare`
+    /// calls have happened — enough for the harness's
+    /// prepare-then-execute pattern, but **not** a concurrency guarantee:
+    /// a prepared query held across many other prepares (or an
+    /// invalidation, for the Sieve path) may stop executing. Concurrent
+    /// callers should use [`crate::session::Session::prepare`], whose
+    /// [`crate::session::Prepared`] handle pins its plan for its whole
+    /// lifetime and re-prepares transparently.
+    pub fn prepare(
+        &self,
+        enforcement: Enforcement,
+        query: &SelectQuery,
+        qm: &QueryMetadata,
+    ) -> DbResult<SelectQuery> {
+        let (prepared, pins) = self.prepare_pinned(enforcement, query, qm)?;
+        if !(pins.handles.is_empty() && pins.fragments.is_empty()) {
+            let mut slots = self.inner.baseline_pins.lock();
+            if slots.len() >= BASELINE_PIN_SLOTS {
+                slots.pop_front();
+            }
+            slots.push_back(pins);
+        }
+        Ok(prepared)
+    }
+
+    /// [`SieveService::prepare`] returning the pins explicitly: the query
+    /// stays executable exactly as long as the caller holds them.
+    fn prepare_pinned(
+        &self,
+        enforcement: Enforcement,
+        query: &SelectQuery,
+        qm: &QueryMetadata,
+    ) -> DbResult<(SelectQuery, PreparePins)> {
+        match enforcement {
+            Enforcement::Sieve => {
+                let out = self.rewrite(query, qm)?;
+                Ok((
+                    out.query,
+                    PreparePins {
+                        fragments: out.fragments,
+                        handles: Vec::new(),
+                    },
+                ))
+            }
+            Enforcement::NoPolicies => Ok((query.clone(), PreparePins::default())),
+            Enforcement::Baseline(which) => {
+                // The baseline rewrites (policy DNF in WHERE, per-policy
+                // UNION, per-tuple UDF) attach to top-level FROM entries
+                // only; a protected relation read through nesting would
+                // escape them, so they fail closed instead of silently
+                // under-enforcing. Sieve enforcement mediates all depths.
+                let (top, nested) = {
+                    let protected = self.inner.protected.read();
+                    classify_protected_refs(query, &protected)
+                };
+                if !nested.is_empty() {
+                    return Err(DbError::Unsupported(format!(
+                        "baseline {which:?} mediates only top-level FROM references; \
+                         protected relation(s) {nested:?} are read through a subquery, \
+                         WITH body, or derived table — use Sieve enforcement"
+                    )));
+                }
+                let mut handles: Vec<PartitionHandle> = Vec::new();
+                let store = self.inner.store.read();
+                let groups = self.inner.groups.read();
+                let backend = self.inner.backend.read();
+                let mut rewritten = query.clone();
+                for rel in top {
+                    let relevant = relevant_policies(store.iter(), &rel, qm, &groups);
+                    rewritten = match which {
+                        Baseline::P => rewrite_baseline_p(&rewritten, &rel, &relevant),
+                        Baseline::I => rewrite_baseline_i(&rewritten, &rel, &relevant),
+                        Baseline::U => {
+                            // On error the handles collected so far drop
+                            // right here — no leak to reclaim later.
+                            let (q, h) = rewrite_baseline_u(
+                                &*backend,
+                                &self.inner.delta,
+                                &rewritten,
+                                &rel,
+                                &relevant,
+                            )?;
+                            handles.extend(h);
+                            q
+                        }
+                    };
+                }
+                Ok((
+                    rewritten,
+                    PreparePins {
+                        fragments: Vec::new(),
+                        handles,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// The guarded expression for (querier, purpose, relation), generating
+    /// or refreshing it per the regeneration policy. Returns the
+    /// expression actually used for enforcement (stale + pending branches
+    /// under `OptimalRate`/`Manual` when below the regeneration threshold).
+    pub fn guarded_expression(
+        &self,
+        qm: &QueryMetadata,
+        relation: &str,
+    ) -> DbResult<GuardedExpression> {
+        let (opts, cost) = self.snapshot_config();
+        loop {
+            let key = self.refresh_entry(qm, relation, &opts, &cost)?;
+            // A concurrent bulk insert can LRU-evict the entry between the
+            // refresh and this read; that's churn, not an error — refresh
+            // again (same recovery as compiled_relation).
+            if let Some(expr) = self.inner.cache.read(&key, |c| (*c.effective).clone()) {
+                return Ok(expr);
+            }
+        }
+    }
+
+    /// Parse SQL, then [`SieveService::execute`]. Repeat textual queries
+    /// reuse the cached AST instead of re-parsing; warm lookups take only
+    /// the cache's read lock.
+    pub fn execute_sql(&self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
+        if let Some(q) = self.inner.sql_cache.read().map.get(sql).cloned() {
+            return self.execute(&q, qm);
+        }
+        let q = Arc::new(minidb::sql::parse(sql)?);
+        {
+            let mut cache = self.inner.sql_cache.write();
+            // Re-check: another thread may have inserted while we parsed.
+            if !cache.map.contains_key(sql) {
+                if cache.map.len() >= SQL_CACHE_CAP {
+                    // Evict the single oldest entry rather than dropping
+                    // the whole map: FIFO keeps the cache pinned at the
+                    // cap and guarantees a newly cached query survives
+                    // the next `SQL_CACHE_CAP - 1` insertions.
+                    if let Some(victim) = cache.order.pop_front() {
+                        cache.map.remove(&victim);
+                    }
+                }
+                cache.map.insert(sql.to_string(), Arc::clone(&q));
+                cache.order.push_back(sql.to_string());
+            }
+        }
+        self.execute(&q, qm)
+    }
+
+    /// Number of parsed-SQL cache entries (observability/tests).
+    pub fn sql_cache_len(&self) -> usize {
+        self.inner.sql_cache.read().map.len()
+    }
+
+    /// True iff this exact SQL text is cached (observability/tests).
+    pub fn sql_cache_contains(&self, sql: &str) -> bool {
+        self.inner.sql_cache.read().map.contains_key(sql)
+    }
+
+    /// Warm-populate the guard cache for a batch of concurrent queriers
+    /// (the ROADMAP's batched multi-querier evaluation). Requests are
+    /// grouped by `(purpose, relation)` over the whole query tree; each
+    /// group's policy-store scan and candidate generation (policy
+    /// filtering, histogram estimates, Theorem 1 merges) run **once**,
+    /// and only the per-querier restriction + set cover run individually —
+    /// spread across `available_parallelism` threads now that the shared
+    /// half is immutable borrowed state.
+    ///
+    /// Batching changes the work schedule, not the semantics: each
+    /// querier's expression covers exactly its relevant policies, so
+    /// rewriting or executing afterwards returns exactly what sequential
+    /// [`SieveService::execute`] calls would.
+    pub fn prepare_batch(
+        &self,
+        requests: &[(QueryMetadata, SelectQuery)],
+    ) -> DbResult<BatchPrepareReport> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.prepare_batch_with_threads(requests, threads)
+    }
+
+    /// [`SieveService::prepare_batch`] with an explicit thread count for
+    /// the per-querier phase (`1` forces the sequential schedule; tests
+    /// pin parallel-vs-sequential equivalence through this).
+    pub fn prepare_batch_with_threads(
+        &self,
+        requests: &[(QueryMetadata, SelectQuery)],
+        threads: usize,
+    ) -> DbResult<BatchPrepareReport> {
+        let (opts, cost) = self.snapshot_config();
+        let groups_map = {
+            let protected = self.inner.protected.read();
+            crate::batch::group_requests(requests, &protected)
+        };
+        let mut report = BatchPrepareReport::default();
+        let mut to_insert: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
+        // Hold the store lock across generation and publish, as the
+        // single-key path does (see module docs).
+        let store = self.inner.store.read();
+        let groups = self.inner.groups.read();
+        let epoch = self.inner.backend_epoch.load(Ordering::SeqCst);
+        {
+            let backend = self.inner.backend.read();
+            for ((purpose, relation), qms) in groups_map {
+                let pending: Vec<&QueryMetadata> = qms
+                    .iter()
+                    .copied()
+                    .filter(|qm| {
+                        self.needs_generation(
+                            &(qm.querier, purpose.clone(), relation.clone()),
+                            &opts,
+                            &cost,
+                        )
+                    })
+                    .collect();
+                report.reused += qms.len() - pending.len();
+                if pending.is_empty() {
+                    continue;
+                }
+                let entry = backend.table_entry(&relation)?;
+                let group = crate::batch::build_shared_group(
+                    store.iter(),
+                    &relation,
+                    &purpose,
+                    entry,
+                    &cost,
+                );
+                let exprs: Vec<GuardedExpression> =
+                    if threads <= 1 || pending.len() < PARALLEL_BATCH_MIN {
+                        pending
+                            .iter()
+                            .map(|qm| {
+                                group.generate_for(qm, &groups, entry, &cost, opts.selection)
+                            })
+                            .collect()
+                    } else {
+                        // The per-querier phase: restriction + set cover
+                        // over shared immutable state, chunked across
+                        // scoped threads. Chunks preserve request order.
+                        let n = threads.min(pending.len());
+                        let chunk = pending.len().div_ceil(n);
+                        let groups_ref = &*groups;
+                        let group_ref = &group;
+                        let cost_ref = &cost;
+                        std::thread::scope(|s| {
+                            let handles: Vec<_> = pending
+                                .chunks(chunk)
+                                .map(|part| {
+                                    s.spawn(move || {
+                                        part.iter()
+                                            .map(|qm| {
+                                                group_ref.generate_for(
+                                                    qm,
+                                                    groups_ref,
+                                                    entry,
+                                                    cost_ref,
+                                                    opts.selection,
+                                                )
+                                            })
+                                            .collect::<Vec<_>>()
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .flat_map(|h| h.join().expect("batch worker panicked"))
+                                .collect()
+                        })
+                    };
+                self.inner
+                    .generations
+                    .fetch_add(exprs.len() as u64, Ordering::Relaxed);
+                for (qm, expr) in pending.iter().zip(exprs) {
+                    to_insert.push((
+                        (qm.querier, purpose.clone(), relation.clone()),
+                        Arc::new(expr),
+                    ));
+                }
+                report.generated += pending.len();
+                report.groups.push(BatchGroupReport {
+                    purpose: purpose.clone(),
+                    relation: relation.clone(),
+                    queriers: qms.len(),
+                    generated: pending.len(),
+                    slice_policies: group.slice_len,
+                    shared_candidates: group.shared_candidates(),
+                });
+            }
+        }
+        if opts.persist {
+            let mut backend = self.inner.backend.write();
+            let mut persist = self.inner.persist.lock();
+            for (_, expr) in &to_insert {
+                persist_guarded_expression(&mut *backend, expr, false, &mut persist.guard_ids)?;
+            }
+        }
+        self.inner.cache.insert_generated_bulk(to_insert, epoch);
+        Ok(report)
+    }
+
+    /// Execute a batch of queries under SIEVE enforcement, amortizing
+    /// guard generation across queriers via
+    /// [`SieveService::prepare_batch`]. Results are in request order and
+    /// identical to calling [`SieveService::execute`] per request.
+    pub fn execute_batch(
+        &self,
+        requests: &[(QueryMetadata, SelectQuery)],
+    ) -> DbResult<Vec<QueryResult>> {
+        self.prepare_batch(requests)?;
+        requests.iter().map(|(qm, q)| self.execute(q, qm)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The service must be shareable across threads by construction.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_and_handles_are_send_sync() {
+        assert_send_sync::<SieveService<MinidbBackend>>();
+        assert_send_sync::<crate::session::Session<MinidbBackend>>();
+        assert_send_sync::<crate::session::Prepared<MinidbBackend>>();
+        #[cfg(feature = "wire-sql")]
+        assert_send_sync::<SieveService<crate::backend::WireSqlBackend>>();
+        assert_send_sync::<SieveService<crate::backend::DynBackend>>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-querier session and prepared-statement handles.
+//!
+//! A wire server fronting [`crate::service::SieveService`] hands each
+//! connection a [`Session`]: the querier's [`QueryMetadata`] (identity,
+//! purpose, context) is captured **once** at session creation — the
+//! principal carries its authority in the handle instead of re-passing it
+//! per call (cf. Zigmond et al., "Fine-Grained, Language-Based Access
+//! Control for Database-Backed Applications"). Sessions are cheap clones
+//! of the service handle plus the metadata; any number may live and query
+//! concurrently.
+//!
+//! [`Prepared`] is the repeat-query hot path: it pins a fully rewritten
+//! query (guards compiled, ∆ partitions registered and reference-held) so
+//! repeated [`Prepared::execute`] calls skip *all* middleware work — no
+//! cache lookup, no rewrite, just backend execution under the shared read
+//! lock. Staleness is detected by two service-level counters captured at
+//! prepare time: the **backend epoch** (out-of-band data/schema mutation)
+//! and the **revision** (policy/option/cost/group changes). When either
+//! moves, the next `execute` transparently re-prepares — through the
+//! guard cache, so a re-prepare after an unrelated change is two warm
+//! lookups, not a regeneration.
+
+use crate::backend::{MinidbBackend, SqlBackend};
+use crate::guard::GuardedExpression;
+use crate::policy::QueryMetadata;
+use crate::rewrite::{GuardFragment, RewriteOutput};
+use crate::service::SieveService;
+use minidb::error::DbResult;
+use minidb::plan::SelectQuery;
+use minidb::QueryResult;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A per-querier handle onto a [`SieveService`]: query metadata captured
+/// once, every read path at `&self`. Clone freely; clones share the
+/// service and copy the metadata.
+pub struct Session<B: SqlBackend = MinidbBackend> {
+    service: SieveService<B>,
+    qm: QueryMetadata,
+}
+
+impl<B: SqlBackend> Clone for Session<B> {
+    fn clone(&self) -> Self {
+        Session {
+            service: self.service.clone(),
+            qm: self.qm.clone(),
+        }
+    }
+}
+
+impl<B: SqlBackend> Session<B> {
+    pub(crate) fn new(service: SieveService<B>, qm: QueryMetadata) -> Self {
+        Session { service, qm }
+    }
+
+    /// The metadata this session queries under.
+    pub fn metadata(&self) -> &QueryMetadata {
+        &self.qm
+    }
+
+    /// The shared service behind this session.
+    pub fn service(&self) -> &SieveService<B> {
+        &self.service
+    }
+
+    /// Execute a query under SIEVE enforcement as this session's querier.
+    pub fn execute(&self, query: &SelectQuery) -> DbResult<QueryResult> {
+        self.service.execute(query, &self.qm)
+    }
+
+    /// Parse SQL, then [`Session::execute`] (shares the service-wide
+    /// parsed-AST cache).
+    pub fn execute_sql(&self, sql: &str) -> DbResult<QueryResult> {
+        self.service.execute_sql(sql, &self.qm)
+    }
+
+    /// Rewrite a query without executing it.
+    pub fn rewrite(&self, query: &SelectQuery) -> DbResult<RewriteOutput> {
+        self.service.rewrite(query, &self.qm)
+    }
+
+    /// The session's guarded expression for a protected relation.
+    pub fn guarded_expression(&self, relation: &str) -> DbResult<GuardedExpression> {
+        self.service.guarded_expression(&self.qm, relation)
+    }
+
+    /// Prepare a query for repeated execution: rewrite it now, pin the
+    /// compiled fragments, and hand back a [`Prepared`] whose `execute`
+    /// skips the middleware entirely while the plan stays fresh.
+    pub fn prepare(&self, query: SelectQuery) -> DbResult<Prepared<B>> {
+        let prepared = Prepared {
+            service: self.service.clone(),
+            qm: self.qm.clone(),
+            source: query,
+            plan: Mutex::new(None),
+            reprepares: AtomicU64::new(0),
+        };
+        prepared.refresh_plan()?;
+        Ok(prepared)
+    }
+
+    /// Parse SQL and [`Session::prepare`] it.
+    pub fn prepare_sql(&self, sql: &str) -> DbResult<Prepared<B>> {
+        self.prepare(minidb::sql::parse(sql)?)
+    }
+}
+
+/// A rewritten plan plus the validity stamps it was built under. Shared
+/// as one `Arc`, so a warm execute pins query + fragments (and through
+/// them the ∆ partitions) with a single refcount bump.
+struct Plan {
+    query: SelectQuery,
+    /// Pins the plan's ∆ partitions for as long as the plan is held.
+    _fragments: Vec<Arc<GuardFragment>>,
+    backend_epoch: u64,
+    revision: u64,
+}
+
+/// A statement prepared for one querier: the compiled rewrite is pinned
+/// and re-executed without touching the guard cache. Stale plans (backend
+/// epoch or service revision moved) transparently re-prepare on the next
+/// [`Prepared::execute`]. Shareable across threads (`&self` API).
+pub struct Prepared<B: SqlBackend = MinidbBackend> {
+    service: SieveService<B>,
+    qm: QueryMetadata,
+    source: SelectQuery,
+    plan: Mutex<Option<Arc<Plan>>>,
+    reprepares: AtomicU64,
+}
+
+impl<B: SqlBackend> Prepared<B> {
+    /// The metadata this statement executes under.
+    pub fn metadata(&self) -> &QueryMetadata {
+        &self.qm
+    }
+
+    /// The original (pre-rewrite) query.
+    pub fn source(&self) -> &SelectQuery {
+        &self.source
+    }
+
+    /// How many times the plan was rebuilt after the initial prepare
+    /// (observability: an epoch/revision bump shows up here).
+    pub fn reprepares(&self) -> u64 {
+        self.reprepares.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild the plan from the current service state.
+    fn refresh_plan(&self) -> DbResult<Arc<Plan>> {
+        // Stamps are captured *before* the rewrite: if a writer bumps
+        // either counter mid-rewrite, the stored plan is already marked
+        // stale and the next execute re-prepares — conservative, never
+        // wrong.
+        let backend_epoch = self.service.backend_epoch();
+        let revision = self.service.revision();
+        let out = self.service.rewrite(&self.source, &self.qm)?;
+        let plan = Arc::new(Plan {
+            query: out.query,
+            _fragments: out.fragments,
+            backend_epoch,
+            revision,
+        });
+        let mut slot = self.plan.lock();
+        if slot.is_some() {
+            self.reprepares.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Execute the statement. While the plan is fresh this is the
+    /// middleware's fastest path: one `Arc` clone under a short mutex
+    /// (which pins query and ∆ partitions together), then run on the
+    /// backend under its shared read lock.
+    pub fn execute(&self) -> DbResult<QueryResult> {
+        let fresh = {
+            let slot = self.plan.lock();
+            slot.as_ref().and_then(|p| {
+                (p.backend_epoch == self.service.backend_epoch()
+                    && p.revision == self.service.revision())
+                .then(|| Arc::clone(p))
+            })
+        };
+        let plan = match fresh {
+            Some(plan) => plan,
+            None => self.refresh_plan()?,
+        };
+        self.service.exec_prepared(&plan.query)
+    }
+}

@@ -10,7 +10,7 @@
 //! shape comparisons in EXPERIMENTS.md use the simulated clock where
 //! determinism matters and wall time elsewhere.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -98,12 +98,33 @@ impl Counters {
     }
 }
 
+/// The lock-free counter block behind a [`StatsSink`]. Plain relaxed
+/// atomics: operators on concurrent executor threads record into the same
+/// sink without serializing on a mutex (the sink sits on the query hot
+/// path — under the concurrent `SieveService` every parallel query bumps
+/// these counters).
+#[derive(Default)]
+struct AtomicCounters {
+    seq_pages_read: AtomicU64,
+    rand_pages_read: AtomicU64,
+    tuples_read: AtomicU64,
+    predicate_evals: AtomicU64,
+    policy_evals: AtomicU64,
+    udf_invocations: AtomicU64,
+    index_probes: AtomicU64,
+    tuples_output: AtomicU64,
+}
+
 /// A shareable statistics sink. Cloning shares the underlying counters, so
 /// every operator in a plan (and every UDF it invokes) can record into the
-/// same sink cheaply.
+/// same sink cheaply. Counters are relaxed atomics: recording from many
+/// threads never blocks; a [`StatsSink::snapshot`] taken while queries are
+/// in flight sees each counter at some recent value (per-query attribution
+/// under concurrency is the caller's concern — time a dedicated sink, or
+/// quiesce first).
 #[derive(Clone, Default)]
 pub struct StatsSink {
-    inner: Arc<Mutex<Counters>>,
+    inner: Arc<AtomicCounters>,
 }
 
 impl StatsSink {
@@ -114,52 +135,70 @@ impl StatsSink {
 
     /// Record `n` sequentially-read pages.
     pub fn seq_pages(&self, n: u64) {
-        self.inner.lock().seq_pages_read += n;
+        self.inner.seq_pages_read.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` randomly-read pages.
     pub fn rand_pages(&self, n: u64) {
-        self.inner.lock().rand_pages_read += n;
+        self.inner.rand_pages_read.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` tuples materialized.
     pub fn tuples(&self, n: u64) {
-        self.inner.lock().tuples_read += n;
+        self.inner.tuples_read.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` predicate evaluations.
     pub fn predicates(&self, n: u64) {
-        self.inner.lock().predicate_evals += n;
+        self.inner.predicate_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` policy evaluations.
     pub fn policies(&self, n: u64) {
-        self.inner.lock().policy_evals += n;
+        self.inner.policy_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record one UDF invocation.
     pub fn udf_invocation(&self) {
-        self.inner.lock().udf_invocations += 1;
+        self.inner.udf_invocations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record `n` index probes.
     pub fn index_probes(&self, n: u64) {
-        self.inner.lock().index_probes += n;
+        self.inner.index_probes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` output tuples.
     pub fn outputs(&self, n: u64) {
-        self.inner.lock().tuples_output += n;
+        self.inner.tuples_output.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> Counters {
-        *self.inner.lock()
+        let c = &*self.inner;
+        Counters {
+            seq_pages_read: c.seq_pages_read.load(Ordering::Relaxed),
+            rand_pages_read: c.rand_pages_read.load(Ordering::Relaxed),
+            tuples_read: c.tuples_read.load(Ordering::Relaxed),
+            predicate_evals: c.predicate_evals.load(Ordering::Relaxed),
+            policy_evals: c.policy_evals.load(Ordering::Relaxed),
+            udf_invocations: c.udf_invocations.load(Ordering::Relaxed),
+            index_probes: c.index_probes.load(Ordering::Relaxed),
+            tuples_output: c.tuples_output.load(Ordering::Relaxed),
+        }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = Counters::default();
+        let c = &*self.inner;
+        c.seq_pages_read.store(0, Ordering::Relaxed);
+        c.rand_pages_read.store(0, Ordering::Relaxed);
+        c.tuples_read.store(0, Ordering::Relaxed);
+        c.predicate_evals.store(0, Ordering::Relaxed);
+        c.policy_evals.store(0, Ordering::Relaxed);
+        c.udf_invocations.store(0, Ordering::Relaxed);
+        c.index_probes.store(0, Ordering::Relaxed);
+        c.tuples_output.store(0, Ordering::Relaxed);
     }
 }
 

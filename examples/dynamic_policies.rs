@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qm = QueryMetadata::new(500, "Analytics");
     let query = SelectQuery::star_from("wifi_dataset");
     let n0 = sieve.execute(&query, &qm)?.len();
-    println!("initial visible rows: {n0} (generations: {})", sieve.generations);
+    println!("initial visible rows: {n0} (generations: {})", sieve.generations());
 
     // Interleave policy insertions with queries; enforcement is always
     // exact (pending policies ride along as extra guard branches), while
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = sieve.execute(&query, &qm)?.len();
         println!(
             "after policy for owner {owner}: visible={n}, regenerations so far={}",
-            sieve.generations
+            sieve.generations()
         );
     }
 

@@ -53,11 +53,12 @@ fn check_all_mechanisms(
     for querier in queriers {
         for purpose in ["Analytics", "Safety"] {
             let qm = QueryMetadata::new(*querier, purpose);
+            let policies = sieve.policies();
             let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-                sieve.policies(),
+                policies.iter(),
                 WIFI_TABLE,
                 &qm,
-                sieve.groups(),
+                &sieve.groups(),
             );
             let mut expect: Vec<Row> = visible_rows(db, WIFI_TABLE, &relevant).unwrap();
             expect.sort();
@@ -106,11 +107,12 @@ fn check_all_mechanisms(
             ))
             .unwrap();
         let qm = QueryMetadata::new(*querier, "Analytics");
+        let policies = sieve.policies();
         let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-            sieve.policies(),
+            policies.iter(),
             WIFI_TABLE,
             &qm,
-            sieve.groups(),
+            &sieve.groups(),
         );
         let mut expect: Vec<Row> = visible_rows(db, WIFI_TABLE, &relevant).unwrap();
         expect.sort();

@@ -90,13 +90,14 @@ fn build_sieve(profile: DbProfile) -> Sieve {
 }
 
 fn oracle(sieve: &Sieve, qm: &QueryMetadata) -> Vec<Row> {
+    let policies = sieve.policies();
     let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-        sieve.policies(),
+        policies.iter(),
         "wifi_dataset",
         qm,
-        sieve.groups(),
+        &sieve.groups(),
     );
-    let mut rows = visible_rows(sieve.db(), "wifi_dataset", &relevant).unwrap();
+    let mut rows = visible_rows(&*sieve.db(), "wifi_dataset", &relevant).unwrap();
     rows.sort();
     rows
 }

@@ -116,11 +116,12 @@ fn for_sieves(mut f: impl FnMut(&'static str, Sieve<DynBackend>, &Database)) {
 /// exactly the querier's visible rows. Running the *original* query here
 /// yields the expected output for any query shape.
 fn visible_database(sieve: &Sieve<DynBackend>, db: &Database, qm: &QueryMetadata) -> Database {
+    let policies = sieve.policies();
     let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-        sieve.policies(),
+        policies.iter(),
         REL,
         qm,
-        sieve.groups(),
+        &sieve.groups(),
     );
     let visible = visible_rows(db, REL, &relevant).unwrap();
     let mut vdb = Database::new(DbProfile::MySqlLike);
@@ -282,7 +283,7 @@ fn cte_shadowing_without_protected_read_stays_untouched() {
             64,
             "CTE result replaced the protected name via {backend}"
         );
-        assert_eq!(sieve.generations, 0, "no guard generation for a CTE read");
+        assert_eq!(sieve.generations(), 0, "no guard generation for a CTE read");
     });
 }
 
@@ -376,11 +377,12 @@ fn sql_text_round_trip_is_guarded() {
             )
             .unwrap();
         let n = res.rows[0][0].as_int().unwrap();
+        let policies = sieve.policies();
         let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-            sieve.policies(),
+            policies.iter(),
             REL,
             &qm,
-            sieve.groups(),
+            &sieve.groups(),
         );
         let expect = visible_rows(db, REL, &relevant).unwrap().len() as i64;
         assert_eq!(n, expect);

@@ -74,13 +74,14 @@ fn loaded_sieve() -> Sieve {
 }
 
 fn oracle(sieve: &Sieve, qm: &QueryMetadata) -> Vec<Row> {
+    let policies = sieve.policies();
     let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-        sieve.policies(),
+        policies.iter(),
         REL,
         qm,
-        sieve.groups(),
+        &sieve.groups(),
     );
-    let mut rows = visible_rows(sieve.db(), REL, &relevant).unwrap();
+    let mut rows = visible_rows(&*sieve.db(), REL, &relevant).unwrap();
     rows.sort();
     rows
 }
@@ -108,7 +109,7 @@ fn warm_queries_hit_both_cache_levels() {
     assert_eq!(s1.fragment_builds, 1, "warm queries must not recompile");
     assert_eq!(s1.hits, s0.hits + 5);
     assert_eq!(s1.fragment_hits, s0.fragment_hits + 5);
-    assert_eq!(sieve.generations, 1);
+    assert_eq!(sieve.generations(), 1);
 }
 
 #[test]
@@ -160,13 +161,13 @@ fn manual_regeneration_serves_pending_from_cache_and_matches_oracle() {
     sieve.options_mut().regeneration = RegenerationPolicy::Manual;
     let qm = QueryMetadata::new(500, "Analytics");
     let n0 = run_sorted(&mut sieve, &qm).len();
-    let gens = sieve.generations;
+    let gens = sieve.generations();
 
     sieve.add_policy(policy(61, 500, "Analytics", 1001)).unwrap();
     // No regeneration under Manual, but the pending policy is enforced via
     // a rebuilt effective expression + fragment.
     let rows = run_sorted(&mut sieve, &qm);
-    assert_eq!(sieve.generations, gens);
+    assert_eq!(sieve.generations(), gens);
     assert!(rows.len() > n0);
     assert_eq!(rows, oracle(&sieve, &qm));
 
@@ -222,7 +223,7 @@ fn delta_mode_flip_recompiles_fragment_and_stays_correct() {
     );
     assert_eq!(inline_rows, delta_rows);
     assert_eq!(delta_rows, oracle(&sieve, &qm));
-    assert_eq!(sieve.generations, 1, "mode change must not regenerate");
+    assert_eq!(sieve.generations(), 1, "mode change must not regenerate");
 }
 
 /// Ground-truth counter audit: drive a known sequence of queries and
@@ -242,7 +243,7 @@ fn counters_match_ground_truth_trace() {
     let check = |sieve: &Sieve, expect: &(u64, u64, u64), step: &str| {
         let s = sieve.cache_stats();
         assert_eq!((s.hits, s.misses, s.regenerations), *expect, "at {step}");
-        assert_eq!(s.generations(), sieve.generations, "generations at {step}");
+        assert_eq!(s.generations(), sieve.generations(), "generations at {step}");
         assert_eq!(s.lookups(), s.hits + s.misses + s.regenerations, "lookups at {step}");
     };
 
@@ -296,13 +297,13 @@ fn batch_prepare_counters_match_trace() {
     assert_eq!(report.reused, 0);
     let s = sieve.cache_stats();
     assert_eq!((s.hits, s.misses, s.regenerations), (0, 2, 0));
-    assert_eq!(sieve.generations, 2);
+    assert_eq!(sieve.generations(), 2);
 
     // Re-preparing the same batch generates nothing.
     let report = sieve.prepare_batch(&requests).unwrap();
     assert_eq!(report.generated, 0);
     assert_eq!(report.reused, 2);
-    assert_eq!(sieve.generations, 2);
+    assert_eq!(sieve.generations(), 2);
 
     // Executing the batch hits the warm cache.
     let results = sieve.execute_batch(&requests).unwrap();
@@ -310,6 +311,74 @@ fn batch_prepare_counters_match_trace() {
     let s = sieve.cache_stats();
     assert_eq!(s.misses, 2, "no extra generations at execute time");
     assert_eq!(s.hits, 2);
+}
+
+/// Eviction under the cap is LRU-on-*access*: a key that keeps getting
+/// read survives churn of arbitrarily many one-shot keys (FIFO or
+/// LRU-on-insert would rotate it out), while total occupancy stays
+/// bounded and the shed work is visible in the eviction counter.
+#[test]
+fn guard_cache_churn_keeps_hot_keys_via_lru_on_access() {
+    use sieve::core::cache::{GuardCache, GUARD_CACHE_CAP};
+    use sieve::core::GuardedExpression;
+    use std::sync::Arc;
+
+    let cache = GuardCache::new();
+    let entry = |q: i64| {
+        (
+            (q, "Any".to_string(), REL.to_string()),
+            Arc::new(GuardedExpression {
+                relation: REL.to_string(),
+                querier: q,
+                purpose: "Any".into(),
+                guards: vec![],
+            }),
+        )
+    };
+    let (hot_key, hot_expr) = entry(-1);
+    cache.insert_generated(hot_key.clone(), hot_expr, 0);
+    for i in 0..(GUARD_CACHE_CAP as i64 * 4) {
+        let (k, e) = entry(i);
+        cache.insert_generated(k, e, 0);
+        // The read IS the touch: this is what keeps the key alive.
+        assert!(
+            cache.read(&hot_key, |_| ()).is_some(),
+            "hot key evicted by churn at insertion {i}"
+        );
+        assert!(cache.len() <= GUARD_CACHE_CAP, "cap breached at insertion {i}");
+    }
+    let s = cache.stats();
+    assert_eq!(
+        s.evictions as usize,
+        (GUARD_CACHE_CAP * 4 + 1) - cache.len(),
+        "every shed entry must be booked as an eviction"
+    );
+}
+
+/// Evicting an entry whose fragment registered ∆ partitions must free
+/// those partitions (via the RAII handles) — the registry cannot grow
+/// with evicted keys.
+#[test]
+fn eviction_frees_delta_partitions_of_dropped_fragments() {
+    let mut sieve = loaded_sieve();
+    sieve.options_mut().rewrite.delta_mode = DeltaMode::Always;
+    let qm = QueryMetadata::new(500, "Analytics");
+    run_sorted(&mut sieve, &qm);
+    assert!(sieve.delta_len() > 0, "∆ partitions registered");
+    let live = sieve.delta_len();
+    // Invalidation + regeneration replaces the fragment; the superseded
+    // partitions must be gone once no query pins them.
+    sieve.add_policy(policy(63, 500, "Analytics", 1001)).unwrap();
+    run_sorted(&mut sieve, &qm);
+    assert!(
+        sieve.delta_len() <= live + 1,
+        "superseded ∆ partitions leaked: {} -> {}",
+        live,
+        sieve.delta_len()
+    );
+    // Dropping every entry drops every partition.
+    sieve.invalidate_all();
+    assert_eq!(sieve.delta_len(), 0);
 }
 
 #[test]

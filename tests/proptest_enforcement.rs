@@ -118,10 +118,11 @@ proptest! {
         let mut sieve = build(&corpus, profile);
         let purpose = ["Analytics", "Safety", "Marketing"][purpose_idx];
         let qm = QueryMetadata::new(querier, purpose);
+        let policies = sieve.policies();
         let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-            sieve.policies(), "t", &qm, sieve.groups(),
+            policies.iter(), "t", &qm, &sieve.groups(),
         );
-        let mut expect = visible_rows(sieve.db(), "t", &relevant).unwrap();
+        let mut expect = visible_rows(&*sieve.db(), "t", &relevant).unwrap();
         expect.sort();
         let q = SelectQuery::star_from("t");
         for e in [

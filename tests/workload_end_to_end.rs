@@ -37,13 +37,14 @@ fn oracle_for(
     table: &str,
     qm: &QueryMetadata,
 ) -> Vec<Row> {
+    let policies = sieve.policies();
     let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
-        sieve.policies(),
+        policies.iter(),
         table,
         qm,
-        sieve.groups(),
+        &sieve.groups(),
     );
-    visible_rows(sieve.db(), table, &relevant).unwrap()
+    visible_rows(&*sieve.db(), table, &relevant).unwrap()
 }
 
 #[test]
@@ -180,9 +181,10 @@ fn persistence_mirrors_policies_into_relations() {
     assert_eq!(res.rows[0][0], Value::Int(n as i64));
 
     // Load back and compare against the registered corpus.
-    let loaded = sieve::core::store::load_policies(sieve.db()).unwrap();
+    let loaded = sieve::core::store::load_policies(&*sieve.db()).unwrap();
     assert_eq!(loaded.len(), n);
-    for (a, b) in loaded.iter().zip(sieve.policies()) {
+    let registered = sieve.policies();
+    for (a, b) in loaded.iter().zip(registered.iter()) {
         assert_eq!(a, b);
     }
 
@@ -218,18 +220,18 @@ fn batched_execution_equals_sequential_over_campus_traffic() {
 
     // Sequential reference on a cold cache.
     sieve.invalidate_all();
-    let seq_gens_before = sieve.generations;
+    let seq_gens_before = sieve.generations();
     let mut sequential: Vec<Vec<Row>> = Vec::with_capacity(requests.len());
     for (qm, q) in &requests {
         let mut rows = sieve.execute(q, qm).unwrap().rows;
         rows.sort();
         sequential.push(rows);
     }
-    let seq_generations = sieve.generations - seq_gens_before;
+    let seq_generations = sieve.generations() - seq_gens_before;
 
     // Batched run on a cold cache.
     sieve.invalidate_all();
-    let gens_before = sieve.generations;
+    let gens_before = sieve.generations();
     let results = sieve.execute_batch(&requests).unwrap();
     assert_eq!(results.len(), requests.len());
     for (got, expect) in results.into_iter().zip(&sequential) {
@@ -238,12 +240,12 @@ fn batched_execution_equals_sequential_over_campus_traffic() {
         assert_eq!(&rows, expect, "batched result diverged from sequential");
     }
     assert_eq!(
-        sieve.generations - gens_before,
+        sieve.generations() - gens_before,
         seq_generations,
         "batch must generate exactly once per key"
     );
     // Re-running the same batch is fully warm: nothing regenerates.
-    let gens = sieve.generations;
+    let gens = sieve.generations();
     sieve.execute_batch(&requests).unwrap();
-    assert_eq!(sieve.generations, gens);
+    assert_eq!(sieve.generations(), gens);
 }
