@@ -37,13 +37,14 @@
 //! DDL, UDF installation) uses the backend's native channel, as the
 //! paper's middleware does during setup.
 
-use minidb::error::DbResult;
+use minidb::error::{DbError, DbResult};
 use minidb::exec::{ExecOptions, QueryResult};
 use minidb::plan::SelectQuery;
 use minidb::schema::TableSchema;
 use minidb::stats::ExecStats;
 use minidb::table::{Row, RowId};
 use minidb::udf::Udf;
+use minidb::value::Value;
 use minidb::{Database, DbProfile, TableEntry};
 use std::sync::Arc;
 
@@ -58,6 +59,23 @@ pub use minidb_backend::MinidbBackend;
 pub use postgres::PostgresBackend;
 #[cfg(feature = "wire-sql")]
 pub use wire::WireSqlBackend;
+
+/// Identifier of a server-side prepared statement, scoped to one backend
+/// instance. Ids are never reused within an instance.
+pub type StatementId = u64;
+
+/// A server-side prepared statement: the statement id plus the literal
+/// values lifted out of the plan at prepare time (index = placeholder
+/// ordinal). Executing with exactly these values is the warm fast path;
+/// executing with different values rebinds against the server's parsed
+/// template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedStatement {
+    /// Server-side statement handle.
+    pub id: StatementId,
+    /// Parameter values the plan was prepared with.
+    pub params: Vec<Value>,
+}
 
 /// The execution engine behind the middleware, as seen by [`crate::Sieve`]
 /// and the concurrent [`crate::service::SieveService`].
@@ -112,6 +130,39 @@ pub trait SqlBackend: Send + Sync {
     /// mirroring — not the measured query path).
     fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId>;
 
+    /// Prepare `query` server-side: render + parse once, returning a
+    /// statement id to execute by thereafter. `Ok(None)` means this
+    /// backend has no server-side statements (the default — in-process
+    /// engines execute the AST directly, so there is nothing to save);
+    /// callers then fall back to [`SqlBackend::exec`] per call, which
+    /// preserves the pre-prepared-statement behavior exactly.
+    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+        let _ = query;
+        Ok(None)
+    }
+
+    /// Execute a statement previously returned by [`SqlBackend::prepare`]
+    /// with the given parameter values. Only meaningful on backends that
+    /// returned `Some` from `prepare`.
+    fn execute_prepared(
+        &self,
+        id: StatementId,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> DbResult<QueryResult> {
+        let _ = (params, opts);
+        Err(DbError::Unsupported(format!(
+            "backend {} has no server-side prepared statements (statement {id})",
+            self.name()
+        )))
+    }
+
+    /// Release a server-side statement. A no-op on backends without
+    /// server-side statements, and for ids already closed.
+    fn close_prepared(&self, id: StatementId) {
+        let _ = id;
+    }
+
     /// The in-process engine behind this backend, if any — the escape
     /// hatch the reference oracle ([`crate::semantics`]) uses to evaluate
     /// derived (subquery) policy conditions directly. A true network
@@ -157,6 +208,20 @@ impl<T: SqlBackend + ?Sized> SqlBackend for Box<T> {
     }
     fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
         (**self).insert_row(table, row)
+    }
+    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+        (**self).prepare(query)
+    }
+    fn execute_prepared(
+        &self,
+        id: StatementId,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> DbResult<QueryResult> {
+        (**self).execute_prepared(id, params, opts)
+    }
+    fn close_prepared(&self, id: StatementId) {
+        (**self).close_prepared(id)
     }
     fn minidb(&self) -> Option<&Database> {
         (**self).minidb()

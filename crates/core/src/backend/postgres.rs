@@ -27,6 +27,17 @@
 //! * **Hints** — PostgreSQL ignores `FORCE INDEX`; the renderer's output
 //!   must drop hint clauses for this profile (the engine's
 //!   `DbProfile::PostgresLike` models that behaviour today).
+//! * **Prepared statements** — [`super::SqlBackend::prepare`] maps to the
+//!   extended-protocol `Parse` message (`client.prepare(&template_sql)`)
+//!   over the literal-free text of
+//!   [`minidb::sql::parameterize`] + [`minidb::sql::render_query`]; the
+//!   `?` placeholders become `$1…$n` (same left-to-right ordinals).
+//!   [`super::SqlBackend::execute_prepared`] is `client.query(&stmt,
+//!   &params)` (`Bind`/`Execute`), and
+//!   [`super::SqlBackend::close_prepared`] is the `Close` message —
+//!   `tokio-postgres` sends it when the `Statement` handle drops, which
+//!   is exactly when the session layer releases its plan pin. The
+//!   `WireSqlBackend` statement registry models this lifecycle 1:1.
 //!
 //! Every method returns [`DbError::Unsupported`] so the feature compiles
 //! and type-checks across the matrix without pretending to run.
@@ -112,6 +123,10 @@ impl SqlBackend for PostgresBackend {
     fn insert_row(&mut self, _table: &str, _row: Row) -> DbResult<RowId> {
         Err(offline("insert_row"))
     }
+    // `prepare` keeps the trait default (`Ok(None)`): callers fall back
+    // to `exec`, whose offline error is the stub's single failure point.
+    // A real implementation overrides all three statement methods (see
+    // the module docs for the message mapping).
 }
 
 #[cfg(test)]

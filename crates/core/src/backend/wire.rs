@@ -16,25 +16,60 @@
 //! own client-library calls for setup rather than the measured query
 //! path.
 
-use super::SqlBackend;
-use minidb::error::DbResult;
+use super::{PreparedStatement, SqlBackend, StatementId};
+use crate::lru::LruMap;
+use minidb::error::{DbError, DbResult};
 use minidb::exec::{ExecOptions, QueryResult};
 use minidb::plan::SelectQuery;
 use minidb::schema::TableSchema;
 use minidb::stats::ExecStats;
 use minidb::table::{Row, RowId};
 use minidb::udf::Udf;
+use minidb::value::Value;
 use minidb::{Database, DbProfile, TableEntry};
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Capacity of the parsed-template intern cache. Templates are shared
+/// across queriers whose rewrites differ only in policy literals, so the
+/// working set is the number of distinct *query shapes*, not queriers.
+pub const TEMPLATE_CACHE_CAP: usize = 256;
+
+/// A registered server-side statement: the parsed template plus the
+/// plan pre-bound with its prepare-time parameters.
+#[derive(Debug)]
+struct StatementEntry {
+    /// Parsed literal-free template (shared with the intern cache).
+    template: Arc<SelectQuery>,
+    /// Parameter values given at prepare time.
+    params: Vec<Value>,
+    /// Template with `params` already bound — executing with the same
+    /// values costs no render, no parse, and no rebind.
+    bound: Arc<SelectQuery>,
+}
 
 /// An engine reached exclusively through SQL text.
 #[derive(Debug)]
 pub struct WireSqlBackend {
     db: Database,
-    /// Queries that crossed the wire (render → parse → execute).
+    /// Queries that crossed the wire as full SQL text
+    /// (render → parse → execute, or a prepare).
     round_trips: AtomicU64,
+    /// Open server-side statements by id.
+    statements: RwLock<HashMap<StatementId, StatementEntry>>,
+    /// Parsed templates interned by rendered text: a template shared by N
+    /// queriers is parsed once, not N times.
+    templates: RwLock<LruMap<Arc<SelectQuery>>>,
+    next_stmt: AtomicU64,
+    /// Total `prepare` calls.
+    prepares: AtomicU64,
+    /// Prepares that found their template already parsed.
+    template_hits: AtomicU64,
+    /// Executions by statement id (no SQL text on the wire).
+    prepared_execs: AtomicU64,
 }
 
 impl WireSqlBackend {
@@ -43,6 +78,12 @@ impl WireSqlBackend {
         WireSqlBackend {
             db,
             round_trips: AtomicU64::new(0),
+            statements: RwLock::new(HashMap::new()),
+            templates: RwLock::new(LruMap::new(TEMPLATE_CACHE_CAP)),
+            next_stmt: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+            template_hits: AtomicU64::new(0),
+            prepared_execs: AtomicU64::new(0),
         }
     }
 
@@ -58,10 +99,32 @@ impl WireSqlBackend {
         &mut self.db
     }
 
-    /// How many queries crossed the wire so far. Lets tests assert the
-    /// textual path was actually taken rather than silently bypassed.
+    /// How many queries crossed the wire as full SQL text so far. Lets
+    /// tests assert the textual path was actually taken rather than
+    /// silently bypassed.
     pub fn round_trips(&self) -> u64 {
         self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Total `prepare` calls served.
+    pub fn prepares(&self) -> u64 {
+        self.prepares.load(Ordering::Relaxed)
+    }
+
+    /// Prepares whose rendered template was already parsed (interned) —
+    /// the statement-cache hit count.
+    pub fn template_hits(&self) -> u64 {
+        self.template_hits.load(Ordering::Relaxed)
+    }
+
+    /// Executions dispatched by statement id (no SQL text shipped).
+    pub fn prepared_execs(&self) -> u64 {
+        self.prepared_execs.load(Ordering::Relaxed)
+    }
+
+    /// Currently open server-side statements.
+    pub fn open_statements(&self) -> usize {
+        self.statements.read().len()
     }
 
     /// The wire itself: serialize, "transmit", deserialize. Every byte of
@@ -130,6 +193,89 @@ impl SqlBackend for WireSqlBackend {
     fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
         self.db.insert(table, row)
     }
+    /// The server-side prepare: lift literals into `?` placeholders,
+    /// render the literal-free template, and parse it **once per template
+    /// text** — queriers whose rewrites differ only in policy literals
+    /// share one parsed template. The returned statement executes by id
+    /// with bound parameters; no SQL text crosses the wire again.
+    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        let (template_ast, params) = minidb::sql::parameterize(query);
+        let sql = minidb::sql::render_query(&template_ast);
+        // One wire round trip ships the template text (even on an intern
+        // hit — the server still receives the PREPARE message).
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        // Taken as a standalone statement so the read guard drops before
+        // the miss path takes the write lock (the `if let` scrutinee would
+        // otherwise keep it alive through the `else` — self-deadlock).
+        let interned = self.templates.read().get(&sql);
+        let template = if let Some(t) = interned {
+            self.template_hits.fetch_add(1, Ordering::Relaxed);
+            t
+        } else {
+            // The parse is of the *template* text, exactly what a server
+            // would see; placeholder ordinals are assigned left to right,
+            // matching render order, so binding is order-faithful.
+            let parsed = Arc::new(minidb::sql::parse(&sql)?);
+            let mut cache = self.templates.write();
+            match cache.get(&sql) {
+                Some(t) => {
+                    self.template_hits.fetch_add(1, Ordering::Relaxed);
+                    t
+                }
+                None => {
+                    cache.insert(sql, parsed.clone());
+                    parsed
+                }
+            }
+        };
+        let bound = Arc::new(minidb::sql::bind_params(&template, &params)?);
+        let id = self.next_stmt.fetch_add(1, Ordering::Relaxed) + 1;
+        self.statements.write().insert(
+            id,
+            StatementEntry {
+                template,
+                params: params.clone(),
+                bound,
+            },
+        );
+        Ok(Some(PreparedStatement { id, params }))
+    }
+    fn execute_prepared(
+        &self,
+        id: StatementId,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> DbResult<QueryResult> {
+        // Clone the Arcs out so the registry lock is not held across
+        // execution (a concurrent close must not block the data plane).
+        let (plan, rebind) = {
+            let statements = self.statements.read();
+            let entry = statements.get(&id).ok_or_else(|| {
+                DbError::Unsupported(format!(
+                    "unknown prepared statement {id} (closed or never prepared)"
+                ))
+            })?;
+            if entry.params == params {
+                (entry.bound.clone(), None)
+            } else {
+                (entry.template.clone(), Some(()))
+            }
+        };
+        self.prepared_execs.fetch_add(1, Ordering::Relaxed);
+        match rebind {
+            // Warm fast path: parameters unchanged since prepare — run
+            // the pre-bound plan with no render, parse, or rebind.
+            None => self.db.run_query_opts(&plan, opts),
+            Some(()) => {
+                let bound = minidb::sql::bind_params(&plan, params)?;
+                self.db.run_query_opts(&bound, opts)
+            }
+        }
+    }
+    fn close_prepared(&self, id: StatementId) {
+        self.statements.write().remove(&id);
+    }
     fn minidb(&self) -> Option<&Database> {
         // The engine exists in-process here (only the query path takes
         // the wire), so the oracle may reach it.
@@ -168,6 +314,75 @@ mod tests {
         assert_eq!(res.unwrap().len(), 20);
         assert!(stats.wall > Duration::ZERO);
         assert_eq!(backend.round_trips(), 2);
+    }
+
+    #[test]
+    fn prepared_statements_skip_the_text_path() {
+        let backend = WireSqlBackend::new(db());
+        let q = SelectQuery::star_from("t").filter(minidb::Expr::col_eq(
+            minidb::ColumnRef::bare("owner"),
+            Value::Int(2),
+        ));
+        let direct = backend.exec(&q, &ExecOptions::default()).unwrap().rows;
+        let trips_after_exec = backend.round_trips();
+
+        let stmt = backend.prepare(&q).unwrap().expect("wire backend prepares");
+        assert_eq!(stmt.params, vec![Value::Int(2)]);
+        assert_eq!(backend.round_trips(), trips_after_exec + 1);
+        assert_eq!(backend.open_statements(), 1);
+
+        for _ in 0..5 {
+            let rows = backend
+                .execute_prepared(stmt.id, &stmt.params, &ExecOptions::default())
+                .unwrap()
+                .rows;
+            assert_eq!(rows, direct);
+        }
+        // Executions by id ship no SQL text.
+        assert_eq!(backend.round_trips(), trips_after_exec + 1);
+        assert_eq!(backend.prepared_execs(), 5);
+
+        // Rebinding with different values reuses the template.
+        let other = backend
+            .execute_prepared(stmt.id, &[Value::Int(3)], &ExecOptions::default())
+            .unwrap()
+            .rows;
+        assert_eq!(other.len(), 5);
+        assert_ne!(other, direct);
+
+        backend.close_prepared(stmt.id);
+        assert_eq!(backend.open_statements(), 0);
+        assert!(backend
+            .execute_prepared(stmt.id, &stmt.params, &ExecOptions::default())
+            .is_err());
+        // Closing twice is a no-op.
+        backend.close_prepared(stmt.id);
+    }
+
+    #[test]
+    fn templates_interned_across_literal_variants() {
+        let backend = WireSqlBackend::new(db());
+        for owner in 0..4i64 {
+            let q = SelectQuery::star_from("t").filter(minidb::Expr::col_eq(
+                minidb::ColumnRef::bare("owner"),
+                Value::Int(owner),
+            ));
+            backend.prepare(&q).unwrap().unwrap();
+        }
+        assert_eq!(backend.prepares(), 4);
+        // Same shape, different literals: parsed once, interned 3 times.
+        assert_eq!(backend.template_hits(), 3);
+    }
+
+    #[test]
+    fn minidb_backend_has_no_server_side_statements() {
+        let backend = super::super::MinidbBackend::new(db());
+        let q = SelectQuery::star_from("t");
+        assert!(backend.prepare(&q).unwrap().is_none());
+        assert!(backend
+            .execute_prepared(1, &[], &ExecOptions::default())
+            .is_err());
+        backend.close_prepared(1); // no-op
     }
 
     #[test]

@@ -168,7 +168,7 @@ fn qualify_bare(e: &Expr, alias: &str) -> Expr {
         Expr::Column(c) if c.table.is_none() => {
             Expr::Column(ColumnRef::qualified(alias, c.column.clone()))
         }
-        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => e.clone(),
         Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
             op: *op,
             lhs: Box::new(qualify_bare(lhs, alias)),

@@ -53,6 +53,7 @@ pub mod deny;
 pub mod dynamic;
 pub mod filter;
 pub mod guard;
+pub mod lru;
 pub mod middleware;
 pub mod policy;
 pub mod rewrite;

@@ -1,0 +1,141 @@
+//! A small capacity-bounded map with LRU-on-access eviction — the same
+//! retention policy as the sharded [`crate::cache::GuardCache`], packaged
+//! for reuse by the parsed-SQL cache and the wire backend's statement
+//! template cache.
+//!
+//! Reads bump a per-entry stamp from a shared atomic clock, so lookups
+//! work through `&self` (under an outer read lock); inserts take `&mut
+//! self` (an outer write lock) and evict exactly one least-recently-used
+//! victim at capacity — never the incoming key, and never the whole map.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// String-keyed LRU map. Callers wrap it in a `RwLock`: `get` only needs
+/// the read side, `insert` the write side.
+#[derive(Debug)]
+pub struct LruMap<V> {
+    map: HashMap<String, LruEntry<V>>,
+    clock: AtomicU64,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+impl<V: Clone> LruMap<V> {
+    /// Empty map holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        LruMap {
+            map: HashMap::new(),
+            clock: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up a key, marking it most-recently-used on hit.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let entry = self.map.get(key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Insert a key, evicting the single least-recently-used entry when
+    /// the map is at capacity (the incoming key is never the victim).
+    pub fn insert(&mut self, key: String, value: V) {
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                self.map.remove(&v);
+            }
+        }
+        let stamp = self.tick();
+        self.map.insert(
+            key,
+            LruEntry {
+                value,
+                last_used: AtomicU64::new(stamp),
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True iff `key` is cached (does not touch recency).
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = LruMap::new(4);
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(1));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn evicts_single_lru_victim() {
+        let mut m = LruMap::new(3);
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        m.insert("c".into(), 3);
+        // Touch "a": "b" is now the LRU entry.
+        assert_eq!(m.get("a"), Some(1));
+        m.insert("d".into(), 4);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains_key("a"));
+        assert!(!m.contains_key("b"), "LRU victim must be evicted");
+        assert!(m.contains_key("c"));
+        assert!(m.contains_key("d"));
+    }
+
+    #[test]
+    fn hot_key_survives_churn() {
+        let mut m = LruMap::new(8);
+        m.insert("hot".into(), 0);
+        for i in 0..64 {
+            assert_eq!(m.get("hot"), Some(0), "hot key evicted at churn {i}");
+            m.insert(format!("cold{i}"), i);
+            assert_eq!(m.len(), 8.min(i as usize + 2));
+        }
+        assert!(m.contains_key("hot"));
+    }
+
+    #[test]
+    fn reinsert_at_cap_does_not_evict() {
+        let mut m = LruMap::new(2);
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        m.insert("a".into(), 10);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("a"), Some(10));
+        assert_eq!(m.get("b"), Some(2));
+    }
+}

@@ -609,7 +609,7 @@ mod tests {
         let mut sieve = loaded_sieve(DbProfile::MySqlLike);
         let qm = QueryMetadata::new(500, "Analytics");
         // Churn through more distinct texts than the cache holds: the
-        // cache must stay pinned at the cap (single-entry FIFO eviction),
+        // cache must stay pinned at the cap (single-entry LRU eviction),
         // never empty out the way a full clear() would.
         let sql_for = |i: usize| {
             format!("SELECT * FROM wifi_dataset WHERE wifi_ap = {}", 1000 + i as i64)
@@ -626,11 +626,42 @@ mod tests {
                 );
             }
         }
-        // FIFO: the survivors are exactly the most recent SQL_CACHE_CAP
-        // texts — a freshly cached query is never the next victim.
+        // No text was re-read after insertion, so recency order equals
+        // insertion order and LRU degenerates to FIFO: the survivors are
+        // exactly the most recent SQL_CACHE_CAP texts — a freshly cached
+        // query is never the next victim.
         assert!(!sieve.sql_cache_contains(&sql_for(49)), "oldest must be evicted");
         assert!(sieve.sql_cache_contains(&sql_for(50)), "cap-th newest must survive");
         assert!(sieve.sql_cache_contains(&sql_for(SQL_CACHE_CAP + 49)));
+    }
+
+    #[test]
+    fn sql_cache_lru_keeps_reused_text_under_churn() {
+        let mut sieve = loaded_sieve(DbProfile::MySqlLike);
+        let qm = QueryMetadata::new(500, "Analytics");
+        let hot = "SELECT * FROM wifi_dataset WHERE wifi_ap = 1001";
+        let cold_for =
+            |i: usize| format!("SELECT * FROM wifi_dataset WHERE id < {}", i as i64 + 1);
+        sieve.execute_sql(hot, &qm).unwrap();
+        // Interleave the hot text with SQL_CACHE_CAP + 50 one-shot texts.
+        // Under the old FIFO policy the hot entry would be evicted once
+        // SQL_CACHE_CAP distinct texts followed it, no matter how often it
+        // was re-executed; LRU-on-access must keep it and evict only the
+        // stalest one-shot instead.
+        for i in 0..(SQL_CACHE_CAP + 50) {
+            sieve.execute_sql(&cold_for(i), &qm).unwrap();
+            sieve.execute_sql(hot, &qm).unwrap();
+            assert!(
+                sieve.sql_cache_contains(hot),
+                "hot text evicted after {} one-shot texts",
+                i + 1
+            );
+        }
+        // The key that survives the churn is the re-accessed one; the
+        // oldest untouched one-shot is the victim.
+        assert!(sieve.sql_cache_contains(hot));
+        assert!(!sieve.sql_cache_contains(&cold_for(0)));
+        assert!(sieve.sql_cache_contains(&cold_for(SQL_CACHE_CAP + 49)));
     }
 
     #[test]

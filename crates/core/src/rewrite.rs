@@ -253,7 +253,7 @@ fn strip_alias(e: &Expr, alias: &str) -> Expr {
             Expr::Column(c) if c.table.as_deref() == Some(alias) => {
                 Expr::Column(ColumnRef::bare(c.column.clone()))
             }
-            Expr::Column(_) | Expr::Literal(_) => e.clone(),
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => e.clone(),
             Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
                 op: *op,
                 lhs: Box::new(map(lhs, alias)),
@@ -525,7 +525,7 @@ impl Rewriter<'_> {
             Expr::ScalarSubquery(q) => {
                 Expr::ScalarSubquery(Box::new(self.rewrite_level(q, scope)?))
             }
-            Expr::Literal(_) | Expr::Column(_) => e.clone(),
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => e.clone(),
             Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
                 op: *op,
                 lhs: Box::new(self.rewrite_expr(lhs, scope)?),
@@ -688,7 +688,7 @@ impl Rewriter<'_> {
 fn visit_subqueries(e: &Expr, f: &mut impl FnMut(&SelectQuery)) {
     match e {
         Expr::ScalarSubquery(q) => f(q),
-        Expr::Literal(_) | Expr::Column(_) => {}
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
         Expr::Cmp { lhs, rhs, .. } => {
             visit_subqueries(lhs, f);
             visit_subqueries(rhs, f);

@@ -186,7 +186,7 @@ fn substitute_params(
             E::ScalarSubquery(inner) => {
                 E::ScalarSubquery(Box::new(substitute_params(inner, params)))
             }
-            E::Literal(_) => e.clone(),
+            E::Literal(_) | E::Param(_) => e.clone(),
         }
     }
     let mut out = q.clone();

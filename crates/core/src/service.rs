@@ -88,7 +88,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Bound on the parsed-SQL cache (entries); repeat textual queries skip
-/// the parser. Eviction is FIFO, one entry at a time.
+/// the parser. Eviction is LRU-on-access, one entry at a time — the same
+/// retention policy as the sharded [`GuardCache`], so a hot query text
+/// survives unbounded churn of one-shot texts (FIFO would evict it after
+/// `SQL_CACHE_CAP` distinct insertions regardless of use).
 pub const SQL_CACHE_CAP: usize = 256;
 
 /// Below this many per-querier generations a batch group stays on the
@@ -131,14 +134,6 @@ pub(crate) struct PersistState {
     pub(crate) oc_id: i64,
 }
 
-struct SqlCache {
-    map: HashMap<String, Arc<SelectQuery>>,
-    /// Insertion order — FIFO eviction at the cap, so a long-lived hot
-    /// entry survives ~`SQL_CACHE_CAP` insertions rather than being an
-    /// arbitrary hash-order victim.
-    order: VecDeque<String>,
-}
-
 /// Everything one service instance shares across its clones, sessions and
 /// prepared statements.
 pub(crate) struct ServiceShared<B: SqlBackend> {
@@ -164,7 +159,7 @@ pub(crate) struct ServiceShared<B: SqlBackend> {
     /// mutex because `prepare` is an experiment path, not the concurrent
     /// hot path.
     baseline_pins: Mutex<VecDeque<PreparePins>>,
-    sql_cache: RwLock<SqlCache>,
+    sql_cache: RwLock<crate::lru::LruMap<Arc<SelectQuery>>>,
     pub(crate) generations: AtomicU64,
 }
 
@@ -236,10 +231,7 @@ impl<B: SqlBackend> SieveService<B> {
                     oc_id: 0,
                 }),
                 baseline_pins: Mutex::new(VecDeque::new()),
-                sql_cache: RwLock::new(SqlCache {
-                    map: HashMap::new(),
-                    order: VecDeque::new(),
-                }),
+                sql_cache: RwLock::new(crate::lru::LruMap::new(SQL_CACHE_CAP)),
                 generations: AtomicU64::new(0),
             }),
         })
@@ -756,6 +748,35 @@ impl<B: SqlBackend> SieveService<B> {
         backend.exec(query, &opts)
     }
 
+    /// Ask the backend for a server-side statement handle over an
+    /// already-rewritten query. `Ok(None)` means the backend has no
+    /// prepared-statement support and callers must stay on the text path.
+    pub(crate) fn prepare_statement(
+        &self,
+        query: &SelectQuery,
+    ) -> DbResult<Option<crate::backend::PreparedStatement>> {
+        let backend = self.inner.backend.read();
+        backend.prepare(query)
+    }
+
+    /// Execute a server-side prepared statement with bound parameters
+    /// (the [`crate::session::Prepared`] hot path on wire backends).
+    pub(crate) fn execute_statement(
+        &self,
+        id: crate::backend::StatementId,
+        params: &[minidb::value::Value],
+    ) -> DbResult<QueryResult> {
+        let opts = self.exec_options();
+        let backend = self.inner.backend.read();
+        backend.execute_prepared(id, params, &opts)
+    }
+
+    /// Close a server-side prepared statement; unknown ids are a no-op.
+    pub(crate) fn close_statement(&self, id: crate::backend::StatementId) {
+        let backend = self.inner.backend.read();
+        backend.close_prepared(id);
+    }
+
     /// Execute and time a query under any enforcement mechanism; the
     /// experiment harness's single entry point. Timing shares the
     /// backend's statistics sink — drive it single-threaded. The ∆
@@ -913,25 +934,21 @@ impl<B: SqlBackend> SieveService<B> {
     /// reuse the cached AST instead of re-parsing; warm lookups take only
     /// the cache's read lock.
     pub fn execute_sql(&self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
-        if let Some(q) = self.inner.sql_cache.read().map.get(sql).cloned() {
+        // The read-side `get` marks the entry most-recently-used, so a hot
+        // query text survives churn of one-shot texts (LRU-on-access, same
+        // policy as the guard cache).
+        if let Some(q) = self.inner.sql_cache.read().get(sql) {
             return self.execute(&q, qm);
         }
         let q = Arc::new(minidb::sql::parse(sql)?);
         {
             let mut cache = self.inner.sql_cache.write();
             // Re-check: another thread may have inserted while we parsed.
-            if !cache.map.contains_key(sql) {
-                if cache.map.len() >= SQL_CACHE_CAP {
-                    // Evict the single oldest entry rather than dropping
-                    // the whole map: FIFO keeps the cache pinned at the
-                    // cap and guarantees a newly cached query survives
-                    // the next `SQL_CACHE_CAP - 1` insertions.
-                    if let Some(victim) = cache.order.pop_front() {
-                        cache.map.remove(&victim);
-                    }
-                }
-                cache.map.insert(sql.to_string(), Arc::clone(&q));
-                cache.order.push_back(sql.to_string());
+            // (Re-inserting would be harmless — same parse result — but
+            // would reset the entry's recency from this thread's stale
+            // view.)
+            if !cache.contains_key(sql) {
+                cache.insert(sql.to_string(), Arc::clone(&q));
             }
         }
         self.execute(&q, qm)
@@ -939,12 +956,12 @@ impl<B: SqlBackend> SieveService<B> {
 
     /// Number of parsed-SQL cache entries (observability/tests).
     pub fn sql_cache_len(&self) -> usize {
-        self.inner.sql_cache.read().map.len()
+        self.inner.sql_cache.read().len()
     }
 
     /// True iff this exact SQL text is cached (observability/tests).
     pub fn sql_cache_contains(&self, sql: &str) -> bool {
-        self.inner.sql_cache.read().map.contains_key(sql)
+        self.inner.sql_cache.read().contains_key(sql)
     }
 
     /// Warm-populate the guard cache for a batch of concurrent queriers

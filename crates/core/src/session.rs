@@ -20,7 +20,7 @@
 //! guard cache, so a re-prepare after an unrelated change is two warm
 //! lookups, not a regeneration.
 
-use crate::backend::{MinidbBackend, SqlBackend};
+use crate::backend::{MinidbBackend, SqlBackend, StatementId};
 use crate::guard::GuardedExpression;
 use crate::policy::QueryMetadata;
 use crate::rewrite::{GuardFragment, RewriteOutput};
@@ -106,13 +106,35 @@ impl<B: SqlBackend> Session<B> {
     }
 }
 
+/// A server-side statement held open for a plan's lifetime. Closing on
+/// `Drop` (of the last `Arc<Plan>` clone) rather than at re-prepare time
+/// means an in-flight `execute` on another thread can never race a close
+/// of the statement it is running.
+struct StatementPin<B: SqlBackend> {
+    service: SieveService<B>,
+    id: StatementId,
+    /// The literal values lifted out of the rewritten query, in placeholder
+    /// order — re-sent on every execute, as a wire client would.
+    params: Vec<minidb::value::Value>,
+}
+
+impl<B: SqlBackend> Drop for StatementPin<B> {
+    fn drop(&mut self) {
+        self.service.close_statement(self.id);
+    }
+}
+
 /// A rewritten plan plus the validity stamps it was built under. Shared
 /// as one `Arc`, so a warm execute pins query + fragments (and through
 /// them the ∆ partitions) with a single refcount bump.
-struct Plan {
+struct Plan<B: SqlBackend> {
     query: SelectQuery,
     /// Pins the plan's ∆ partitions for as long as the plan is held.
     _fragments: Vec<Arc<GuardFragment>>,
+    /// Server-side statement over `query`, when the backend supports
+    /// prepared execution (`None` keeps the in-process AST path). A stale
+    /// plan's statement closes when its last holder drops.
+    statement: Option<StatementPin<B>>,
     backend_epoch: u64,
     revision: u64,
 }
@@ -125,7 +147,7 @@ pub struct Prepared<B: SqlBackend = MinidbBackend> {
     service: SieveService<B>,
     qm: QueryMetadata,
     source: SelectQuery,
-    plan: Mutex<Option<Arc<Plan>>>,
+    plan: Mutex<Option<Arc<Plan<B>>>>,
     reprepares: AtomicU64,
 }
 
@@ -146,8 +168,16 @@ impl<B: SqlBackend> Prepared<B> {
         self.reprepares.load(Ordering::Relaxed)
     }
 
+    /// The server-side statement id behind the current plan, if the
+    /// backend prepared one (observability: a re-prepare shows up as a
+    /// fresh id, an AST-path backend as `None`).
+    pub fn statement_id(&self) -> Option<StatementId> {
+        let slot = self.plan.lock();
+        slot.as_ref().and_then(|p| p.statement.as_ref().map(|s| s.id))
+    }
+
     /// Rebuild the plan from the current service state.
-    fn refresh_plan(&self) -> DbResult<Arc<Plan>> {
+    fn refresh_plan(&self) -> DbResult<Arc<Plan<B>>> {
         // Stamps are captured *before* the rewrite: if a writer bumps
         // either counter mid-rewrite, the stored plan is already marked
         // stale and the next execute re-prepares — conservative, never
@@ -155,9 +185,19 @@ impl<B: SqlBackend> Prepared<B> {
         let backend_epoch = self.service.backend_epoch();
         let revision = self.service.revision();
         let out = self.service.rewrite(&self.source, &self.qm)?;
+        // Pin a server-side statement when the backend offers one: the
+        // rewritten text is rendered, shipped and parsed once here, and
+        // every subsequent warm execute goes by statement id + bound
+        // parameters instead of re-crossing the wire as text.
+        let statement = self.service.prepare_statement(&out.query)?.map(|ps| StatementPin {
+            service: self.service.clone(),
+            id: ps.id,
+            params: ps.params,
+        });
         let plan = Arc::new(Plan {
             query: out.query,
             _fragments: out.fragments,
+            statement,
             backend_epoch,
             revision,
         });
@@ -186,6 +226,9 @@ impl<B: SqlBackend> Prepared<B> {
             Some(plan) => plan,
             None => self.refresh_plan()?,
         };
-        self.service.exec_prepared(&plan.query)
+        match &plan.statement {
+            Some(pin) => self.service.execute_statement(pin.id, &pin.params),
+            None => self.service.exec_prepared(&plan.query),
+        }
     }
 }

@@ -696,9 +696,16 @@ impl<'a> Exec<'a> {
                         None => None,
                     };
                     if slot.is_none() && !matches!(func, AggFunc::Count) {
+                        // Both backends reject this identically: the
+                        // renderer keeps the DISTINCT spelling, so the
+                        // wire path can no longer degrade it to COUNT(*).
+                        let spelled = if matches!(func, AggFunc::CountDistinct) {
+                            "COUNT(DISTINCT *)".to_string()
+                        } else {
+                            format!("{}(*)", func.sql())
+                        };
                         return Err(DbError::Unsupported(format!(
-                            "{}(*) only valid for COUNT",
-                            func.sql()
+                            "{spelled} is not supported: * only valid in COUNT(*)"
                         )));
                     }
                     outs.push(Out::Agg(aggs.len()));

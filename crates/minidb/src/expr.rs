@@ -118,6 +118,11 @@ impl fmt::Display for ColumnRef {
 pub enum Expr {
     /// Constant.
     Literal(Value),
+    /// Positional wire-protocol placeholder (`?`), numbered left to right
+    /// in render order. Produced by [`crate::sql::parameterize`] and by
+    /// the parser for `?` tokens; a query still holding placeholders must
+    /// be rebound via [`crate::sql::bind_params`] before execution.
+    Param(usize),
     /// Column reference.
     Column(ColumnRef),
     /// Binary comparison.
@@ -274,7 +279,7 @@ impl Expr {
     /// scalar subqueries, whose references resolve in their own scope).
     pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
         match self {
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Column(c) => f(c),
             Expr::Cmp { lhs, rhs, .. } => {
                 lhs.visit_columns(f);
@@ -509,6 +514,11 @@ pub fn bind(
 ) -> DbResult<BoundExpr> {
     Ok(match expr {
         Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Param(i) => {
+            return Err(DbError::Unsupported(format!(
+                "unbound placeholder ?{i}: bind parameters before execution"
+            )))
+        }
         Expr::Column(c) => match layout.resolve(c) {
             Ok(slot) => BoundExpr::Slot(slot),
             Err(e) => {

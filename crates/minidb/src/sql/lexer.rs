@@ -40,6 +40,8 @@ pub enum Token {
     Ge,
     /// `;`
     Semi,
+    /// `?` — positional wire-protocol placeholder.
+    Question,
 }
 
 /// Promote a string literal to a typed value when it is shaped like a time
@@ -89,6 +91,10 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
             }
             ';' => {
                 out.push(Token::Semi);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Question);
                 i += 1;
             }
             '=' => {
@@ -182,6 +188,22 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                         break;
                     }
                 }
+                // Exponent suffix (`1e300`, `2.5E-7`): Double's renderer
+                // emits this form for large magnitudes, so the lexer must
+                // take it back.
+                if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+                    let mut j = i + 1;
+                    if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                        j += 1;
+                    }
+                    if bytes.get(j).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
                 let text = &input[start..i];
                 if is_float {
                     out.push(Token::Float(text.parse().map_err(|_| {
@@ -238,6 +260,28 @@ mod tests {
                 Token::Float(-4.25)
             ]
         );
+    }
+
+    #[test]
+    fn lexes_exponent_floats() {
+        let toks = tokenize("1e3 2.5E-7 -1.5e+2 7e9x").unwrap();
+        assert_eq!(toks[0], Token::Float(1e3));
+        assert_eq!(toks[1], Token::Float(2.5e-7));
+        assert_eq!(toks[2], Token::Float(-1.5e2));
+        // A trailing identifier character ends the number cleanly.
+        assert_eq!(toks[3], Token::Float(7e9));
+        assert_eq!(toks[4], Token::Ident("x".into()));
+        // `e` with no digits after it is an identifier, not an exponent.
+        assert_eq!(
+            tokenize("3e").unwrap(),
+            vec![Token::Int(3), Token::Ident("e".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_placeholders() {
+        let toks = tokenize("a = ? AND b IN (?, ?)").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Question).count(), 3);
     }
 
     #[test]

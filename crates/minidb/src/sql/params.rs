@@ -1,0 +1,294 @@
+//! Wire-protocol parameterization: lift literal values out of a query
+//! into `?` placeholders, and bind values back into a template.
+//!
+//! This is the guard-SQL compaction half of the prepared-statement wire
+//! protocol. A rewritten guard query differs across queriers almost
+//! exclusively in its policy literals; once those are lifted, the
+//! rendered template text is shared, so the wire backend parses each
+//! template **once** and thereafter executes by statement id with bound
+//! parameters.
+//!
+//! Ordinals are assigned in *render order* — the exact order
+//! [`super::render_query`] writes expressions (WITH bodies first, then
+//! FROM derived tables, then WHERE) and the parser re-reads them, so
+//! `parse(render(parameterize(q).0))` preserves every `Expr::Param`
+//! index.
+
+use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
+use crate::plan::{SelectQuery, TableSource, WithClause};
+use crate::value::Value;
+
+/// Replace every literal in `q` with a positional placeholder, returning
+/// the template and the lifted values (index = placeholder ordinal).
+pub fn parameterize(q: &SelectQuery) -> (SelectQuery, Vec<Value>) {
+    let mut params = Vec::new();
+    let template = param_query(q, &mut params);
+    (template, params)
+}
+
+/// Substitute bound values back into a parameterized template. Errors if
+/// the template references an ordinal past the end of `params`; extra
+/// values are ignored (the template decides arity).
+pub fn bind_params(q: &SelectQuery, params: &[Value]) -> DbResult<SelectQuery> {
+    bind_query(q, params)
+}
+
+fn param_query(q: &SelectQuery, out: &mut Vec<Value>) -> SelectQuery {
+    SelectQuery {
+        with: q
+            .with
+            .iter()
+            .map(|wc| WithClause {
+                name: wc.name.clone(),
+                query: param_query(&wc.query, out),
+            })
+            .collect(),
+        select: q.select.clone(),
+        from: q
+            .from
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                if let TableSource::Derived(inner) = &t.source {
+                    t.source = TableSource::Derived(Box::new(param_query(inner, out)));
+                }
+                t
+            })
+            .collect(),
+        predicate: q.predicate.as_ref().map(|p| param_expr(p, out)),
+        group_by: q.group_by.clone(),
+        limit: q.limit,
+    }
+}
+
+fn param_expr(e: &Expr, out: &mut Vec<Value>) -> Expr {
+    match e {
+        Expr::Literal(v) => {
+            let ord = out.len();
+            out.push(v.clone());
+            Expr::Param(ord)
+        }
+        // Already-parameterized input keeps its placeholders only if it
+        // carries no literals at all; mixing would shuffle ordinals, so
+        // re-parameterizing a template is the caller's bug. In practice
+        // `parameterize` only ever sees fully-literal plans.
+        Expr::Param(i) => Expr::Param(*i),
+        Expr::Column(_) => e.clone(),
+        Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: *op,
+            lhs: Box::new(param_expr(lhs, out)),
+            rhs: Box::new(param_expr(rhs, out)),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(param_expr(expr, out)),
+            low: Box::new(param_expr(low, out)),
+            high: Box::new(param_expr(high, out)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(param_expr(expr, out)),
+            list: list.iter().map(|x| param_expr(x, out)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(param_expr(expr, out)),
+            negated: *negated,
+        },
+        Expr::And(v) => Expr::And(v.iter().map(|x| param_expr(x, out)).collect()),
+        Expr::Or(v) => Expr::Or(v.iter().map(|x| param_expr(x, out)).collect()),
+        Expr::Not(x) => Expr::Not(Box::new(param_expr(x, out))),
+        Expr::Udf { name, args } => Expr::Udf {
+            name: name.clone(),
+            args: args.iter().map(|x| param_expr(x, out)).collect(),
+        },
+        Expr::ScalarSubquery(q) => {
+            Expr::ScalarSubquery(Box::new(param_query(q, out)))
+        }
+    }
+}
+
+fn bind_query(q: &SelectQuery, params: &[Value]) -> DbResult<SelectQuery> {
+    Ok(SelectQuery {
+        with: q
+            .with
+            .iter()
+            .map(|wc| {
+                Ok(WithClause {
+                    name: wc.name.clone(),
+                    query: bind_query(&wc.query, params)?,
+                })
+            })
+            .collect::<DbResult<_>>()?,
+        select: q.select.clone(),
+        from: q
+            .from
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                if let TableSource::Derived(inner) = &t.source {
+                    t.source =
+                        TableSource::Derived(Box::new(bind_query(inner, params)?));
+                }
+                Ok(t)
+            })
+            .collect::<DbResult<_>>()?,
+        predicate: match &q.predicate {
+            Some(p) => Some(bind_expr(p, params)?),
+            None => None,
+        },
+        group_by: q.group_by.clone(),
+        limit: q.limit,
+    })
+}
+
+fn bind_expr(e: &Expr, params: &[Value]) -> DbResult<Expr> {
+    Ok(match e {
+        Expr::Param(i) => Expr::Literal(
+            params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| {
+                    DbError::Unsupported(format!(
+                        "placeholder ?{i} out of range: {} parameters bound",
+                        params.len()
+                    ))
+                })?,
+        ),
+        Expr::Literal(_) | Expr::Column(_) => e.clone(),
+        Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: *op,
+            lhs: Box::new(bind_expr(lhs, params)?),
+            rhs: Box::new(bind_expr(rhs, params)?),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(bind_expr(expr, params)?),
+            low: Box::new(bind_expr(low, params)?),
+            high: Box::new(bind_expr(high, params)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(bind_expr(expr, params)?),
+            list: list
+                .iter()
+                .map(|x| bind_expr(x, params))
+                .collect::<DbResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, params)?),
+            negated: *negated,
+        },
+        Expr::And(v) => Expr::And(
+            v.iter()
+                .map(|x| bind_expr(x, params))
+                .collect::<DbResult<_>>()?,
+        ),
+        Expr::Or(v) => Expr::Or(
+            v.iter()
+                .map(|x| bind_expr(x, params))
+                .collect::<DbResult<_>>()?,
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(bind_expr(x, params)?)),
+        Expr::Udf { name, args } => Expr::Udf {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|x| bind_expr(x, params))
+                .collect::<DbResult<_>>()?,
+        },
+        Expr::ScalarSubquery(q) => {
+            Expr::ScalarSubquery(Box::new(bind_query(q, params)?))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColumnRef;
+    use crate::sql::{parse, render_query};
+
+    fn sample() -> SelectQuery {
+        parse(
+            "WITH pol AS (SELECT * FROM w WHERE owner = 3 OR wifi_ap IN (1, 2)) \
+             SELECT * FROM pol WHERE ts_time BETWEEN '09:00' AND '10:00' \
+             AND k < (SELECT COUNT(*) AS n FROM b WHERE label = 5)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parameterize_lifts_every_literal() {
+        let q = sample();
+        let (template, params) = parameterize(&q);
+        assert_eq!(params.len(), 6);
+        let sql = render_query(&template);
+        let holes = sql.matches('?').count();
+        assert_eq!(holes, 6, "template must carry one hole per literal: {sql}");
+        assert!(!sql.contains("= 3"), "literals must be gone: {sql}");
+        assert!(!sql.contains("09:00"), "literals must be gone: {sql}");
+    }
+
+    #[test]
+    fn bind_inverts_parameterize() {
+        let q = sample();
+        let (template, params) = parameterize(&q);
+        let back = bind_params(&template, &params).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn template_text_roundtrips_with_matching_ordinals() {
+        // The wire protocol's load-bearing property: rendering the
+        // template and re-parsing it yields the *same* template, hole
+        // ordinals included, so binding on the far side of the wire uses
+        // the same value order.
+        let q = sample();
+        let (template, params) = parameterize(&q);
+        let sql = render_query(&template);
+        let reparsed = parse(&sql).unwrap();
+        assert_eq!(reparsed, template, "ordinals shifted through {sql}");
+        let bound = bind_params(&reparsed, &params).unwrap();
+        assert_eq!(bound, q);
+    }
+
+    #[test]
+    fn bind_rejects_missing_params() {
+        let e = Expr::col_eq(ColumnRef::bare("a"), Value::Int(1));
+        let q = SelectQuery::star_from("t").filter(e);
+        let (template, params) = parameterize(&q);
+        assert_eq!(params.len(), 1);
+        assert!(bind_params(&template, &[]).is_err());
+    }
+
+    #[test]
+    fn templates_shared_across_literal_variants() {
+        // Two queries differing only in literals produce byte-identical
+        // template text — the interning key for the statement cache.
+        let a = parse("SELECT * FROM t WHERE owner = 3 AND wifi_ap = 1001").unwrap();
+        let b = parse("SELECT * FROM t WHERE owner = 44 AND wifi_ap = 1007").unwrap();
+        let (ta, pa) = parameterize(&a);
+        let (tb, pb) = parameterize(&b);
+        assert_eq!(render_query(&ta), render_query(&tb));
+        assert_ne!(pa, pb);
+    }
+}

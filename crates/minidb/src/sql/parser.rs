@@ -11,7 +11,11 @@ use crate::value::Value;
 /// Parse a SQL string into a [`SelectQuery`].
 pub fn parse(sql: &str) -> DbResult<SelectQuery> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let q = p.parse_query()?;
     p.eat_if(&Token::Semi);
     if p.pos != p.tokens.len() {
@@ -26,6 +30,9 @@ pub fn parse(sql: &str) -> DbResult<SelectQuery> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Placeholder ordinals assigned left to right — token order equals
+    /// render order, so `parse(render(q))` preserves `Expr::Param` indices.
+    params: usize,
 }
 
 impl Parser {
@@ -179,21 +186,20 @@ impl Parser {
         if let (Some(Token::Ident(name)), Some(Token::LParen)) = (self.peek(), self.peek2()) {
             if let Some(mut func) = Self::agg_func(name) {
                 self.pos += 2; // consume IDENT '('
+                let distinct = self.eat_kw("DISTINCT");
                 let column = if self.eat_if(&Token::Star) {
                     None
                 } else {
-                    let distinct = self.eat_kw("DISTINCT");
-                    let col = self.parse_column_ref()?;
-                    if distinct {
-                        if func != AggFunc::Count {
-                            return Err(DbError::Parse(
-                                "DISTINCT only supported in COUNT".into(),
-                            ));
-                        }
-                        func = AggFunc::CountDistinct;
-                    }
-                    Some(col)
+                    Some(self.parse_column_ref()?)
                 };
+                if distinct {
+                    if func != AggFunc::Count {
+                        return Err(DbError::Parse(
+                            "DISTINCT only supported in COUNT".into(),
+                        ));
+                    }
+                    func = AggFunc::CountDistinct;
+                }
                 self.expect(&Token::RParen)?;
                 let alias = self.parse_alias()?;
                 return Ok(SelectItem::Aggregate {
@@ -438,6 +444,12 @@ impl Parser {
                 self.pos += 1;
                 Ok(Expr::Literal(promote_literal(&s)))
             }
+            Some(Token::Question) => {
+                self.pos += 1;
+                let ord = self.params;
+                self.params += 1;
+                Ok(Expr::Param(ord))
+            }
             Some(Token::LParen) => {
                 if self.next_is_select() {
                     self.pos += 1;
@@ -480,6 +492,24 @@ impl Parser {
                             .ok_or_else(|| DbError::Parse(format!("bad DATE literal '{s}'")))?;
                         self.pos += 2;
                         return Ok(Expr::Literal(Value::Date(d)));
+                    }
+                }
+                // DOUBLE '…' literals: the renderer emits this spelling
+                // only for non-finite doubles, which have no SQL value —
+                // reject those with a defined error instead of misparsing
+                // bare NaN/inf text as a column reference.
+                if name.eq_ignore_ascii_case("DOUBLE") {
+                    if let Some(Token::Str(s)) = self.peek2() {
+                        let d: f64 = s.trim().parse().map_err(|_| {
+                            DbError::Parse(format!("bad DOUBLE literal '{s}'"))
+                        })?;
+                        if !d.is_finite() {
+                            return Err(DbError::Parse(format!(
+                                "non-finite DOUBLE literal '{s}' has no SQL value"
+                            )));
+                        }
+                        self.pos += 2;
+                        return Ok(Expr::Literal(Value::Double(d)));
                     }
                 }
                 // UDF call: IDENT '(' args ')' for non-aggregate names.
@@ -603,6 +633,76 @@ mod tests {
         assert!(
             matches!(conjs[0], Expr::Cmp { ref rhs, .. } if matches!(**rhs, Expr::Literal(Value::Time(_))))
         );
+    }
+
+    #[test]
+    fn parses_count_distinct_star() {
+        let q = parse("SELECT COUNT(DISTINCT *) AS n FROM t").unwrap();
+        assert!(matches!(
+            q.select[0],
+            SelectItem::Aggregate {
+                func: AggFunc::CountDistinct,
+                column: None,
+                ..
+            }
+        ));
+        assert!(parse("SELECT SUM(DISTINCT a) FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_double_literal_and_rejects_non_finite() {
+        let q = parse("SELECT * FROM t WHERE a = DOUBLE '1.5'").unwrap();
+        match q.predicate.unwrap() {
+            Expr::Cmp { rhs, .. } => {
+                assert_eq!(*rhs, Expr::Literal(Value::Double(1.5)))
+            }
+            other => panic!("expected cmp, got {other:?}"),
+        }
+        for bad in ["NaN", "inf", "-inf"] {
+            let err = parse(&format!("SELECT * FROM t WHERE a = DOUBLE '{bad}'"))
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite"),
+                "expected defined non-finite error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_placeholders_with_ordinals_in_text_order() {
+        let q = parse("SELECT * FROM t WHERE a = ? AND b IN (?, ?) OR c BETWEEN ? AND ?")
+            .unwrap();
+        let mut ords = Vec::new();
+        fn collect(e: &Expr, out: &mut Vec<usize>) {
+            match e {
+                Expr::Param(i) => out.push(*i),
+                Expr::Cmp { lhs, rhs, .. } => {
+                    collect(lhs, out);
+                    collect(rhs, out);
+                }
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
+                    collect(expr, out);
+                    collect(low, out);
+                    collect(high, out);
+                }
+                Expr::InList { expr, list, .. } => {
+                    collect(expr, out);
+                    for e in list {
+                        collect(e, out);
+                    }
+                }
+                Expr::And(v) | Expr::Or(v) => {
+                    for e in v {
+                        collect(e, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        collect(&q.predicate.unwrap(), &mut ords);
+        assert_eq!(ords, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

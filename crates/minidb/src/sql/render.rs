@@ -52,6 +52,12 @@ fn write_query(s: &mut String, q: &SelectQuery) {
                     (crate::plan::AggFunc::CountDistinct, Some(c)) => {
                         let _ = write!(s, "DISTINCT {c}");
                     }
+                    (crate::plan::AggFunc::CountDistinct, None) => {
+                        // Must keep the DISTINCT spelling: falling through
+                        // to `COUNT(*)` would silently execute a different
+                        // aggregate across the wire.
+                        s.push_str("DISTINCT *");
+                    }
                     (_, Some(c)) => {
                         let _ = write!(s, "{c}");
                     }
@@ -130,6 +136,7 @@ fn write_expr(s: &mut String, e: &Expr, parent_level: u8) {
     }
     match e {
         Expr::Literal(v) => write_value(s, v),
+        Expr::Param(_) => s.push('?'),
         Expr::Column(c) => {
             let _ = write!(s, "{c}");
         }
@@ -261,6 +268,65 @@ mod tests {
         assert_eq!(render_expr(&e), "ts_time >= TIME '09:00:00'");
         let q = parse(&format!("SELECT * FROM t WHERE {}", render_expr(&e))).unwrap();
         assert_eq!(q.predicate.unwrap(), e);
+    }
+
+    #[test]
+    fn all_aggregate_shapes_roundtrip() {
+        use crate::plan::{AggFunc, SelectQuery, TableRef};
+        let shapes: Vec<(AggFunc, Option<ColumnRef>)> = vec![
+            (AggFunc::Count, None),
+            (AggFunc::Count, Some(ColumnRef::bare("a"))),
+            (AggFunc::CountDistinct, None),
+            (AggFunc::CountDistinct, Some(ColumnRef::bare("a"))),
+            (AggFunc::Sum, Some(ColumnRef::qualified("t", "a"))),
+            (AggFunc::Min, Some(ColumnRef::bare("a"))),
+            (AggFunc::Max, Some(ColumnRef::bare("a"))),
+            (AggFunc::Avg, Some(ColumnRef::bare("a"))),
+        ];
+        for (func, column) in shapes {
+            let q = SelectQuery {
+                with: vec![],
+                select: vec![crate::plan::SelectItem::Aggregate {
+                    func,
+                    column: column.clone(),
+                    alias: Some("x".into()),
+                }],
+                from: vec![TableRef::named("t")],
+                predicate: None,
+                group_by: vec![],
+                limit: None,
+            };
+            let sql = render_query(&q);
+            let back = parse(&sql).unwrap_or_else(|e| {
+                panic!("aggregate shape {func:?}/{column:?} failed to parse: {e}\n{sql}")
+            });
+            assert_eq!(back, q, "aggregate shape diverged through {sql}");
+        }
+    }
+
+    #[test]
+    fn renders_double_literals_roundtrip() {
+        for d in [1.0, -4.25, 0.5, 1e300, -2.5e-7, f64::MIN, f64::MAX] {
+            let e = Expr::col_eq(ColumnRef::bare("a"), Value::Double(d));
+            let sql = format!("SELECT * FROM t WHERE {}", render_expr(&e));
+            let q = parse(&sql).unwrap_or_else(|err| panic!("{sql}: {err}"));
+            assert_eq!(q.predicate.unwrap(), e, "double {d} diverged through {sql}");
+        }
+        // Non-finite doubles render as DOUBLE '…', which the parser
+        // rejects with a defined error rather than misparsing.
+        for d in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = Expr::col_eq(ColumnRef::bare("a"), Value::Double(d));
+            let sql = format!("SELECT * FROM t WHERE {}", render_expr(&e));
+            assert!(parse(&sql).is_err(), "non-finite literal must not parse: {sql}");
+        }
+    }
+
+    #[test]
+    fn renders_placeholders_roundtrip() {
+        let sql = "SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?";
+        let q = parse(sql).unwrap();
+        let q2 = parse(&render_query(&q)).unwrap();
+        assert_eq!(q, q2);
     }
 
     #[test]

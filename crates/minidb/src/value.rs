@@ -302,7 +302,20 @@ impl fmt::Display for Value {
             Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Value::Time(t) => write!(f, "TIME '{}'", Value::format_time(*t)),
             Value::Date(d) => write!(f, "DATE '{}'", Value::format_date(*d)),
-            Value::Double(d) => write!(f, "{d}"),
+            Value::Double(d) => {
+                if d.is_finite() {
+                    // `{:?}` always emits a decimal point or exponent
+                    // ("1.0", "1e300"), so the literal re-lexes as a
+                    // Double — `{}` renders 1.0 as "1", which crosses the
+                    // wire as an Int and silently changes the type.
+                    write!(f, "{d:?}")
+                } else {
+                    // Non-finite doubles have no bare-literal SQL form;
+                    // the DOUBLE '…' spelling is rejected by the parser
+                    // with a defined error instead of misparsing.
+                    write!(f, "DOUBLE '{d}'")
+                }
+            }
         }
     }
 }

@@ -134,6 +134,107 @@ fn check_all_mechanisms(
     }
 }
 
+/// Deny policies, factored into the allow set per paper Section 3.1,
+/// enforce `allow ∧ ¬deny` on **every mechanism and every backend** —
+/// with Double endpoint literals over an Int column, so mixed numerics
+/// must compare numerically end to end (engine, renderer, oracle) and the
+/// fractional bounds must survive the wire (the round-trip bug rendered
+/// `1000.5` fine but `1000.0` as `1000`, silently retyping the guard).
+#[test]
+fn deny_factored_policies_hold_across_mechanisms_and_backends() {
+    use sieve::core::deny::factor_deny;
+    let (db, _policies, ds) = campus(DbProfile::MySqlLike);
+    let querier = [UserProfile::Faculty, UserProfile::Grad, UserProfile::Visitor]
+        .iter()
+        .filter_map(|p| ds.devices_of(*p).next().map(|d| d.id))
+        .next()
+        .expect("dataset must contain a querier");
+    // wifi_dataset column order: id, wifi_ap, owner, ts_time, ts_date.
+    let (ap_at, owner_at) = (1usize, 2usize);
+    let own_aps: Vec<i64> = db
+        .table(WIFI_TABLE)
+        .unwrap()
+        .table
+        .rows()
+        .iter()
+        .filter(|r| r[owner_at] == Value::Int(querier))
+        .map(|r| r[ap_at].as_int().unwrap())
+        .collect();
+    assert!(!own_aps.is_empty(), "querier must own rows");
+    let lo = *own_aps.iter().min().unwrap();
+    let hi = *own_aps.iter().max().unwrap();
+    assert!(lo < hi, "device must visit more than one AP");
+    let mid = (lo + hi) / 2;
+
+    // Allow all own rows; deny the lower half of the AP range with
+    // fractional Double bounds.
+    let allow = Policy::new(
+        querier,
+        WIFI_TABLE,
+        QuerierSpec::User(querier),
+        "Analytics",
+        vec![ObjectCondition::new(
+            "wifi_ap",
+            CondPredicate::Ne(Value::Int(-1)),
+        )],
+    );
+    let deny_conditions = vec![ObjectCondition::new(
+        "wifi_ap",
+        CondPredicate::between(
+            Value::Double(lo as f64 - 0.5),
+            Value::Double(mid as f64 + 0.5),
+        ),
+    )];
+    let factored = factor_deny(&allow, &deny_conditions).unwrap();
+    assert!(!factored.is_empty(), "factoring must produce allow policies");
+
+    // Manual allow ∧ ¬deny: the querier's rows at APs above the midpoint.
+    let mut expect: Vec<Row> = db
+        .table(WIFI_TABLE)
+        .unwrap()
+        .table
+        .rows()
+        .iter()
+        .filter(|r| r[owner_at] == Value::Int(querier) && r[ap_at].as_int().unwrap() > mid)
+        .cloned()
+        .collect();
+    expect.sort();
+    assert!(!expect.is_empty(), "some rows must survive the deny");
+    assert!(expect.len() < own_aps.len(), "the deny must remove rows");
+
+    let q = SelectQuery::star_from(WIFI_TABLE);
+    let qm = QueryMetadata::new(querier, "Analytics");
+    let mut backends = 0;
+    for_each_backend(&db, &SieveOptions::default(), |name, mut sieve| {
+        backends += 1;
+        sieve.add_policies(factored.iter().cloned()).unwrap();
+        // The algebra oracle over the factored set must equal the manual
+        // allow ∧ ¬deny set — pins `factor_deny` itself.
+        let policies = sieve.policies();
+        let relevant: Vec<&Policy> = sieve::core::filter::relevant_policies(
+            policies.iter(),
+            WIFI_TABLE,
+            &qm,
+            &sieve.groups(),
+        );
+        let mut oracle = visible_rows(&db, WIFI_TABLE, &relevant).unwrap();
+        oracle.sort();
+        assert_eq!(oracle, expect, "factor_deny diverged from allow ∧ ¬deny on {name}");
+        for e in [
+            Enforcement::Sieve,
+            Enforcement::Baseline(Baseline::I),
+            Enforcement::Baseline(Baseline::P),
+            Enforcement::Baseline(Baseline::U),
+        ] {
+            let (res, _) = sieve.run_timed(e, &q, &qm);
+            let mut got = res.expect("mechanism must run").rows;
+            got.sort();
+            assert_eq!(got, expect, "{e:?} leaked denied rows on backend {name}");
+        }
+    });
+    assert_eq!(backends, if cfg!(feature = "wire-sql") { 2 } else { 1 });
+}
+
 #[test]
 fn all_mechanisms_equal_oracle_on_seeded_campus_for_every_backend() {
     for profile in [DbProfile::MySqlLike, DbProfile::PostgresLike] {

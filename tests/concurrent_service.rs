@@ -296,6 +296,57 @@ fn prepared_statement_is_shareable_across_threads() {
     assert_eq!(prepared.reprepares(), 0);
 }
 
+/// On a wire backend, a `Prepared` handle pins a server-side statement:
+/// warm executes ship no SQL text, a revision bump swaps in a fresh
+/// statement (closing the stale one once its plan drops), and dropping
+/// the handle closes its statement.
+#[cfg(feature = "wire-sql")]
+#[test]
+fn prepared_pins_and_recycles_wire_statements() {
+    use sieve::core::backend::WireSqlBackend;
+    let mut sieve =
+        Sieve::with_backend(WireSqlBackend::new(loaded_db()), SieveOptions::default()).unwrap();
+    register_corpus(&mut |p| {
+        sieve.add_policy(p).unwrap();
+    });
+    let service = sieve.into_service();
+    let session = service.session(QueryMetadata::new(500, "Analytics"));
+    let prepared = session.prepare(SelectQuery::star_from(REL)).unwrap();
+    let id0 = prepared
+        .statement_id()
+        .expect("wire backend must prepare a server-side statement");
+    assert_eq!(service.backend().open_statements(), 1);
+    let n0 = prepared.execute().unwrap().len();
+    assert!(n0 > 0);
+    let trips = service.backend().round_trips();
+    for _ in 0..10 {
+        assert_eq!(prepared.execute().unwrap().len(), n0);
+    }
+    assert_eq!(
+        service.backend().round_trips(),
+        trips,
+        "warm prepared executes must not ship SQL text across the wire"
+    );
+    // Revision bump → transparent re-prepare under a fresh statement id;
+    // the stale statement closes when the old plan's last holder drops.
+    service.add_policy(policy(71, 500, "Analytics", 1001)).unwrap();
+    let n1 = prepared.execute().unwrap().len();
+    assert!(n1 > n0, "new policy must widen the prepared statement's view");
+    let id1 = prepared.statement_id().unwrap();
+    assert_ne!(id0, id1, "re-prepare must produce a fresh statement");
+    assert_eq!(
+        service.backend().open_statements(),
+        1,
+        "the stale statement must have been closed server-side"
+    );
+    drop(prepared);
+    assert_eq!(
+        service.backend().open_statements(),
+        0,
+        "dropping the handle must close its statement"
+    );
+}
+
 /// The parallel per-querier batch phase must produce byte-identical
 /// results to the sequential schedule — same generations, same rows.
 #[test]

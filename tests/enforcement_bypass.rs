@@ -390,6 +390,164 @@ fn sql_text_round_trip_is_guarded() {
     });
 }
 
+/// Deny semantics on every backend: deny policies factored into the allow
+/// set (paper Section 3.1) must enforce `allow ∧ ¬deny` — checked against
+/// a manual oracle computed straight from the raw rows, so `factor_deny`,
+/// the rewriter, and (on `wire-sql`) render/parse fidelity are all on the
+/// hook. One deny carries Time literals; the other's literals are
+/// `Double`s over a Double column, whose fractional and integral-valued
+/// bounds must both survive the wire typed.
+#[test]
+fn deny_policies_are_enforced_on_every_backend() {
+    use sieve::core::deny::factor_deny;
+    const OFFICE_LO: u32 = 32_400; // 09:00
+    const OFFICE_HI: u32 = 57_600; // 16:00
+    const SIG_LO: f64 = -10.0; // integral-valued Double: the old render
+    const SIG_HI: f64 = 5.5; //   emitted "-10", silently retyping it
+    let mut db = Database::new(DbProfile::MySqlLike);
+    db.create_table(TableSchema::of(
+        REL,
+        &[
+            ("id", DataType::Int),
+            ("owner", DataType::Int),
+            ("wifi_ap", DataType::Int),
+            ("ts_time", DataType::Time),
+            ("signal", DataType::Double),
+        ],
+    ))
+    .unwrap();
+    for i in 0..2000i64 {
+        db.insert(
+            REL,
+            vec![
+                Value::Int(i),
+                Value::Int(i % 40),
+                Value::Int(1000 + i % 10),
+                Value::Time(((i * 53) % 86400) as u32),
+                Value::Double((i % 89) as f64 * 0.5 - 20.0),
+            ],
+        )
+        .unwrap();
+    }
+    for col in ["owner", "wifi_ap", "ts_time", "signal"] {
+        db.create_index(REL, col).unwrap();
+    }
+    db.analyze(REL).unwrap();
+
+    // Owners 0..20 allow querier 500 at AP 1001; owner 1 additionally
+    // denies office hours, owner 11 denies a signal band. (With ap =
+    // 1000 + i%10 and owner = i%40, the owners holding AP-1001 rows are
+    // exactly {1, 11, 21, 31} — the denies must target owners that have
+    // rows to deny.)
+    let allow_for = |owner: i64| {
+        Policy::new(
+            owner,
+            REL,
+            QuerierSpec::User(500),
+            "Analytics",
+            vec![ObjectCondition::new(
+                "wifi_ap",
+                CondPredicate::Eq(Value::Int(1001)),
+            )],
+        )
+    };
+    let mut policies: Vec<Policy> = Vec::new();
+    for owner in 0..20i64 {
+        match owner {
+            1 => policies.extend(
+                factor_deny(
+                    &allow_for(1),
+                    &[ObjectCondition::new(
+                        "ts_time",
+                        CondPredicate::between(Value::Time(OFFICE_LO), Value::Time(OFFICE_HI)),
+                    )],
+                )
+                .unwrap(),
+            ),
+            11 => policies.extend(
+                factor_deny(
+                    &allow_for(11),
+                    &[ObjectCondition::new(
+                        "signal",
+                        CondPredicate::between(Value::Double(SIG_LO), Value::Double(SIG_HI)),
+                    )],
+                )
+                .unwrap(),
+            ),
+            _ => policies.push(allow_for(owner)),
+        }
+    }
+
+    // Manual oracle straight from the raw rows: allow ∧ ¬deny.
+    let mut expect: Vec<Row> = db
+        .table(REL)
+        .unwrap()
+        .table
+        .rows()
+        .iter()
+        .filter(|r| {
+            let owner = r[1].as_int().unwrap();
+            let ap = r[2].as_int().unwrap();
+            let ts = match r[3] {
+                Value::Time(t) => t,
+                _ => unreachable!(),
+            };
+            let sig = match r[4] {
+                Value::Double(s) => s,
+                _ => unreachable!(),
+            };
+            (0..20).contains(&owner)
+                && ap == 1001
+                && !(owner == 1 && (OFFICE_LO..=OFFICE_HI).contains(&ts))
+                && !(owner == 11 && (SIG_LO..=SIG_HI).contains(&sig))
+        })
+        .cloned()
+        .collect();
+    expect.sort();
+    let allow_only = db
+        .table(REL)
+        .unwrap()
+        .table
+        .rows()
+        .iter()
+        .filter(|r| (0..20).contains(&r[1].as_int().unwrap()) && r[2] == Value::Int(1001))
+        .count();
+    assert!(!expect.is_empty(), "some rows must survive the denies");
+    assert!(expect.len() < allow_only, "the denies must remove rows");
+    for owner in [1i64, 11] {
+        let kept = expect.iter().filter(|r| r[1] == Value::Int(owner)).count();
+        let had = db
+            .table(REL)
+            .unwrap()
+            .table
+            .rows()
+            .iter()
+            .filter(|r| r[1] == Value::Int(owner) && r[2] == Value::Int(1001))
+            .count();
+        assert!(kept > 0, "owner {owner}'s deny must not swallow the allow");
+        assert!(kept < had, "owner {owner}'s deny must remove rows");
+    }
+
+    let qm = QueryMetadata::new(500, "Analytics");
+    let mut backends = 0;
+    for_each_backend(&db, &SieveOptions::default(), |name, mut sieve| {
+        backends += 1;
+        for p in &policies {
+            sieve.add_policy(p.clone()).unwrap();
+        }
+        // Top-level read and a nested read must both enforce the denies.
+        for q in [
+            SelectQuery::star_from(REL),
+            derived(SelectQuery::star_from(REL), "d"),
+        ] {
+            let mut got = sieve.execute(&q, &qm).expect("sieve execute").rows;
+            got.sort();
+            assert_eq!(got, expect, "deny bypass via {name} for query {q:?}");
+        }
+    });
+    assert_eq!(backends, if cfg!(feature = "wire-sql") { 2 } else { 1 });
+}
+
 #[test]
 fn baselines_fail_closed_on_nested_reads() {
     for_sieves(|backend, mut sieve, _db| {

@@ -34,6 +34,7 @@ fn loaded_db() -> Database {
             ("owner", DataType::Int),
             ("wifi_ap", DataType::Int),
             ("ts_time", DataType::Time),
+            ("signal", DataType::Double),
         ],
     ))
     .unwrap();
@@ -45,11 +46,14 @@ fn loaded_db() -> Database {
                 Value::Int(i % 30),
                 Value::Int(1000 + i % 8),
                 Value::Time(((i * 131) % 86400) as u32),
+                // Fractional and negative doubles: the literals that used
+                // to lose their type (or their sign's meaning) in render.
+                Value::Double((i % 97) as f64 * 0.25 - 12.0),
             ],
         )
         .unwrap();
     }
-    for col in ["owner", "wifi_ap", "ts_time"] {
+    for col in ["owner", "wifi_ap", "ts_time", "signal"] {
         db.create_index(REL, col).unwrap();
     }
     db.create_table(TableSchema::of(
@@ -71,6 +75,10 @@ enum CondShape {
     ApEq(i64),
     ApIn(Vec<i64>),
     TimeRange(u32, u32),
+    /// `signal BETWEEN lo AND hi` with fractional, possibly negative
+    /// double endpoints — the literal class whose render used to drop the
+    /// decimal point on the wire.
+    SignalRange(f64, f64),
     Unconditional,
 }
 
@@ -80,6 +88,10 @@ fn arb_policy() -> impl Strategy<Value = (i64, CondShape)> {
         proptest::collection::vec(0i64..8, 1..4)
             .prop_map(|aps| CondShape::ApIn(aps.into_iter().map(|a| 1000 + a).collect())),
         (0u32..12, 12u32..24).prop_map(|(lo, hi)| CondShape::TimeRange(lo * 3600, hi * 3600)),
+        (0i64..48, 0i64..48).prop_map(|(a, b)| {
+            let lo = a as f64 * 0.25 - 12.0;
+            CondShape::SignalRange(lo, lo + b as f64 * 0.25)
+        }),
         Just(CondShape::Unconditional),
     ];
     (0i64..30, shape)
@@ -99,6 +111,10 @@ fn to_policy(owner: i64, shape: &CondShape) -> Policy {
             "ts_time",
             CondPredicate::between(Value::Time(*lo), Value::Time(*hi)),
         )],
+        CondShape::SignalRange(lo, hi) => vec![ObjectCondition::new(
+            "signal",
+            CondPredicate::between(Value::Double(*lo), Value::Double(*hi)),
+        )],
         CondShape::Unconditional => vec![],
     };
     Policy::new(owner, REL, QuerierSpec::User(500), "Analytics", conds)
@@ -111,24 +127,37 @@ fn to_policy(owner: i64, shape: &CondShape) -> Policy {
 #[derive(Debug, Clone)]
 struct Shape {
     ap_filter: bool,
+    /// `signal >= -3.5`-style predicate: a negative double literal in the
+    /// *query* (not just the policies).
+    signal_filter: bool,
     wraps: Vec<u8>,
     scalar_pred: bool,
     collide_guard_name: bool,
+    /// 0 = `SELECT *`; 1..=6 pick an aggregate select list (COUNT(*),
+    /// COUNT(col), COUNT(DISTINCT col), SUM, MIN/MAX, AVG) — every
+    /// aggregate render shape crosses the wire.
+    agg: u8,
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
     (
         any::<bool>(),
+        any::<bool>(),
         proptest::collection::vec(0u8..3, 0..3),
         any::<bool>(),
         any::<bool>(),
+        0u8..7,
     )
-        .prop_map(|(ap_filter, wraps, scalar_pred, collide_guard_name)| Shape {
-            ap_filter,
-            wraps,
-            scalar_pred,
-            collide_guard_name,
-        })
+        .prop_map(
+            |(ap_filter, signal_filter, wraps, scalar_pred, collide_guard_name, agg)| Shape {
+                ap_filter,
+                signal_filter,
+                wraps,
+                scalar_pred,
+                collide_guard_name,
+                agg,
+            },
+        )
 }
 
 fn build_query(s: &Shape) -> SelectQuery {
@@ -138,6 +167,13 @@ fn build_query(s: &Shape) -> SelectQuery {
             ColumnRef::qualified(REL, "wifi_ap"),
             Value::Int(1001),
         ));
+    }
+    if s.signal_filter {
+        q = q.and_filter(Expr::Cmp {
+            op: CmpOp::Ge,
+            lhs: Box::new(Expr::Column(ColumnRef::qualified(REL, "signal"))),
+            rhs: Box::new(Expr::Literal(Value::Double(-3.5))),
+        });
     }
     for (i, w) in s.wraps.iter().enumerate() {
         q = match w {
@@ -177,6 +213,22 @@ fn build_query(s: &Shape) -> SelectQuery {
         // rewriter must rename to `wifi_dataset_sieve2`, and THAT must
         // round-trip too.
         q = q.with_clause(format!("{REL}_sieve"), SelectQuery::star_from("boards"));
+    }
+    if s.agg > 0 {
+        use sieve::minidb::plan::AggFunc;
+        let (func, column) = match s.agg {
+            1 => (AggFunc::Count, None),
+            2 => (AggFunc::Count, Some(ColumnRef::bare("id"))),
+            3 => (AggFunc::CountDistinct, Some(ColumnRef::bare("wifi_ap"))),
+            4 => (AggFunc::Sum, Some(ColumnRef::bare("signal"))),
+            5 => (AggFunc::Min, Some(ColumnRef::bare("signal"))),
+            _ => (AggFunc::Avg, Some(ColumnRef::bare("signal"))),
+        };
+        q.select = vec![SelectItem::Aggregate {
+            func,
+            column,
+            alias: Some("agg".into()),
+        }];
     }
     q
 }
@@ -224,6 +276,20 @@ proptest! {
         prop_assert_eq!(
             &reparsed, &out.query,
             "render/parse round trip diverged.\nSQL: {}", sql
+        );
+        // The prepared-statement path: lift every literal into a `?`
+        // placeholder, ship the template, re-bind server-side. The bound
+        // AST must be the original rewrite exactly, or execute-by-id runs
+        // a different query than execute-by-text.
+        let (template, params) = sieve::minidb::sql::parameterize(&out.query);
+        let template_sql = sieve::minidb::sql::render_query(&template);
+        let template_reparsed = sieve::minidb::sql::parse(&template_sql)
+            .unwrap_or_else(|e| panic!("template failed to parse: {e}\nSQL: {template_sql}"));
+        let rebound = sieve::minidb::sql::bind_params(&template_reparsed, &params)
+            .expect("binding the lifted literals back");
+        prop_assert_eq!(
+            &rebound, &out.query,
+            "parameterize/bind round trip diverged.\ntemplate: {}", template_sql
         );
         // The reparsed AST must also *execute* identically — textual
         // equality of plans is what the wire backend's results stand on.
