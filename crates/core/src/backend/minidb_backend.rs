@@ -1,7 +1,6 @@
 //! The in-process backend: a thin wrapper over [`minidb::Database`].
 
-use super::SqlBackend;
-use minidb::error::DbResult;
+use super::{BackendResult, SqlBackend};
 use minidb::exec::{ExecOptions, QueryResult};
 use minidb::plan::SelectQuery;
 use minidb::schema::TableSchema;
@@ -53,17 +52,17 @@ impl SqlBackend for MinidbBackend {
     fn name(&self) -> &'static str {
         self.db.name()
     }
-    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> BackendResult<QueryResult> {
         SqlBackend::exec(&self.db, query, opts)
     }
     fn exec_timed(
         &self,
         query: &SelectQuery,
         opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (BackendResult<QueryResult>, ExecStats) {
         SqlBackend::exec_timed(&self.db, query, opts)
     }
-    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
+    fn table_entry(&self, name: &str) -> BackendResult<&TableEntry> {
         self.db.table_entry(name)
     }
     fn has_relation(&self, name: &str) -> bool {
@@ -75,13 +74,13 @@ impl SqlBackend for MinidbBackend {
     fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
         self.db.install_udf(name, udf)
     }
-    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
+    fn create_relation(&mut self, schema: TableSchema) -> BackendResult<()> {
         self.db.create_relation(schema)
     }
-    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
+    fn create_relation_index(&mut self, table: &str, column: &str) -> BackendResult<()> {
         self.db.create_relation_index(table, column)
     }
-    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
+    fn insert_row(&mut self, table: &str, row: Row) -> BackendResult<RowId> {
         self.db.insert_row(table, row)
     }
     fn minidb(&self) -> Option<&Database> {

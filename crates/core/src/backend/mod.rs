@@ -46,19 +46,120 @@ use minidb::table::{Row, RowId};
 use minidb::udf::Udf;
 use minidb::value::Value;
 use minidb::{Database, DbProfile, TableEntry};
+use std::fmt;
 use std::sync::Arc;
 
+pub mod faulty;
 mod minidb_backend;
 #[cfg(feature = "postgres")]
 mod postgres;
 #[cfg(feature = "wire-sql")]
 mod wire;
 
+pub use faulty::{Fault, FaultConfig, FaultCounts, FaultInjectingBackend};
 pub use minidb_backend::MinidbBackend;
 #[cfg(feature = "postgres")]
 pub use postgres::PostgresBackend;
 #[cfg(feature = "wire-sql")]
 pub use wire::WireSqlBackend;
+
+/// A typed backend failure, classified by what recovery it admits.
+///
+/// The classification is the contract the service's retry layer and the
+/// session's re-prepare logic are written against:
+///
+/// * [`BackendError::is_retryable`] — the same call may succeed if simply
+///   re-issued (possibly on a fresh connection). The service retries these
+///   under its [`crate::middleware::RetryPolicy`].
+/// * [`BackendError::needs_reprepare`] — server-side statement state was
+///   lost; a [`crate::session::Prepared`] must rebuild its plan (prepare a
+///   fresh statement id) before the query can run again.
+///
+/// Everything else fails closed immediately: the error propagates as a
+/// [`crate::SieveError`] and no rows are returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The connection to the engine dropped. All server-side session
+    /// state — prepared statements above all — is gone; the service bumps
+    /// its backend epoch on observing this so prepared plans re-prepare.
+    /// Retryable: the next call reconnects.
+    ConnectionLost(String),
+    /// The call exceeded its deadline (the engine's statement timeout or
+    /// the service's per-query budget). Not retryable: the budget is
+    /// spent, and retrying a deterministic over-budget query would spin.
+    Timeout,
+    /// The statement id is not known server-side (evicted, closed, or lost
+    /// with a connection). Not retryable as-is — the caller must
+    /// re-prepare and execute the fresh id.
+    UnknownStatement(StatementId),
+    /// A transient fault (network hiccup, server momentarily overloaded).
+    /// Retryable as-is.
+    Transient(String),
+    /// The engine rejected the query on semantic grounds — unknown table,
+    /// type error, unsupported shape. Deterministic; never retried.
+    Rejected(DbError),
+    /// A permanent failure (unsupported operation, misconfigured backend).
+    /// Never retried.
+    Fatal(String),
+}
+
+/// Result alias for [`SqlBackend`] operations.
+pub type BackendResult<T> = Result<T, BackendError>;
+
+impl BackendError {
+    /// True iff re-issuing the same call may succeed. The service's retry
+    /// loop only ever retries errors for which this holds.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            BackendError::ConnectionLost(_) | BackendError::Transient(_)
+        )
+    }
+
+    /// True iff server-side prepared-statement state was lost and plans
+    /// executing by statement id must re-prepare before retrying.
+    pub fn needs_reprepare(&self) -> bool {
+        matches!(
+            self,
+            BackendError::ConnectionLost(_) | BackendError::UnknownStatement(_)
+        )
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::ConnectionLost(m) => write!(f, "connection lost: {m}"),
+            BackendError::Timeout => write!(f, "timed out"),
+            BackendError::UnknownStatement(id) => {
+                write!(f, "unknown prepared statement {id} (closed, evicted, or lost)")
+            }
+            BackendError::Transient(m) => write!(f, "transient failure: {m}"),
+            BackendError::Rejected(e) => write!(f, "rejected by engine: {e}"),
+            BackendError::Fatal(m) => write!(f, "fatal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<DbError> for BackendError {
+    fn from(e: DbError) -> Self {
+        match e {
+            // The engine's own deadline is the same budget-spent signal as
+            // a wire-level timeout; keep the classification.
+            DbError::Timeout => BackendError::Timeout,
+            other => BackendError::Rejected(other),
+        }
+    }
+}
+
+/// Lift an engine `(result, stats)` pair into the backend error type.
+fn timed_from_db(
+    (res, stats): (DbResult<QueryResult>, ExecStats),
+) -> (BackendResult<QueryResult>, ExecStats) {
+    (res.map_err(BackendError::from), stats)
+}
 
 /// Identifier of a server-side prepared statement, scoped to one backend
 /// instance. Ids are never reused within an instance.
@@ -93,7 +194,7 @@ pub trait SqlBackend: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Execute a prepared query.
-    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult>;
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> BackendResult<QueryResult>;
 
     /// Execute a query and report `(result, stats)` — wall time plus the
     /// engine's simulated cost clock.
@@ -101,12 +202,12 @@ pub trait SqlBackend: Send + Sync {
         &self,
         query: &SelectQuery,
         opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats);
+    ) -> (BackendResult<QueryResult>, ExecStats);
 
     /// Catalog entry for a relation: schema, indexes, histograms. Guard
     /// candidate generation and cost calibration read these; a server
     /// backend mirrors them locally from the server's catalog views.
-    fn table_entry(&self, name: &str) -> DbResult<&TableEntry>;
+    fn table_entry(&self, name: &str) -> BackendResult<&TableEntry>;
 
     /// True iff a relation with this name exists.
     fn has_relation(&self, name: &str) -> bool;
@@ -121,14 +222,14 @@ pub trait SqlBackend: Send + Sync {
 
     /// Create a relation (idempotence is the caller's concern). Used for
     /// the policy persistence tables of Section 5.1.
-    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()>;
+    fn create_relation(&mut self, schema: TableSchema) -> BackendResult<()>;
 
     /// Create a secondary index over `column` of `table`.
-    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()>;
+    fn create_relation_index(&mut self, table: &str, column: &str) -> BackendResult<()>;
 
     /// Insert one row through the administrative channel (policy/guard
     /// mirroring — not the measured query path).
-    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId>;
+    fn insert_row(&mut self, table: &str, row: Row) -> BackendResult<RowId>;
 
     /// Prepare `query` server-side: render + parse once, returning a
     /// statement id to execute by thereafter. `Ok(None)` means this
@@ -136,7 +237,7 @@ pub trait SqlBackend: Send + Sync {
     /// engines execute the AST directly, so there is nothing to save);
     /// callers then fall back to [`SqlBackend::exec`] per call, which
     /// preserves the pre-prepared-statement behavior exactly.
-    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+    fn prepare(&self, query: &SelectQuery) -> BackendResult<Option<PreparedStatement>> {
         let _ = query;
         Ok(None)
     }
@@ -149,9 +250,11 @@ pub trait SqlBackend: Send + Sync {
         id: StatementId,
         params: &[Value],
         opts: &ExecOptions,
-    ) -> DbResult<QueryResult> {
+    ) -> BackendResult<QueryResult> {
         let _ = (params, opts);
-        Err(DbError::Unsupported(format!(
+        // Fatal, not UnknownStatement: there is no statement state to
+        // recover, so a re-prepare/retry loop must not engage.
+        Err(BackendError::Fatal(format!(
             "backend {} has no server-side prepared statements (statement {id})",
             self.name()
         )))
@@ -178,17 +281,17 @@ impl<T: SqlBackend + ?Sized> SqlBackend for Box<T> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> BackendResult<QueryResult> {
         (**self).exec(query, opts)
     }
     fn exec_timed(
         &self,
         query: &SelectQuery,
         opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (BackendResult<QueryResult>, ExecStats) {
         (**self).exec_timed(query, opts)
     }
-    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
+    fn table_entry(&self, name: &str) -> BackendResult<&TableEntry> {
         (**self).table_entry(name)
     }
     fn has_relation(&self, name: &str) -> bool {
@@ -200,16 +303,16 @@ impl<T: SqlBackend + ?Sized> SqlBackend for Box<T> {
     fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
         (**self).install_udf(name, udf)
     }
-    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
+    fn create_relation(&mut self, schema: TableSchema) -> BackendResult<()> {
         (**self).create_relation(schema)
     }
-    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
+    fn create_relation_index(&mut self, table: &str, column: &str) -> BackendResult<()> {
         (**self).create_relation_index(table, column)
     }
-    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
+    fn insert_row(&mut self, table: &str, row: Row) -> BackendResult<RowId> {
         (**self).insert_row(table, row)
     }
-    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+    fn prepare(&self, query: &SelectQuery) -> BackendResult<Option<PreparedStatement>> {
         (**self).prepare(query)
     }
     fn execute_prepared(
@@ -217,7 +320,7 @@ impl<T: SqlBackend + ?Sized> SqlBackend for Box<T> {
         id: StatementId,
         params: &[Value],
         opts: &ExecOptions,
-    ) -> DbResult<QueryResult> {
+    ) -> BackendResult<QueryResult> {
         (**self).execute_prepared(id, params, opts)
     }
     fn close_prepared(&self, id: StatementId) {
@@ -237,18 +340,18 @@ impl SqlBackend for Database {
     fn name(&self) -> &'static str {
         "minidb"
     }
-    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
-        self.run_query_opts(query, opts)
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> BackendResult<QueryResult> {
+        self.run_query_opts(query, opts).map_err(BackendError::from)
     }
     fn exec_timed(
         &self,
         query: &SelectQuery,
         opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats) {
-        self.run_timed(query, opts)
+    ) -> (BackendResult<QueryResult>, ExecStats) {
+        timed_from_db(self.run_timed(query, opts))
     }
-    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
-        self.table(name)
+    fn table_entry(&self, name: &str) -> BackendResult<&TableEntry> {
+        self.table(name).map_err(BackendError::from)
     }
     fn has_relation(&self, name: &str) -> bool {
         self.has_table(name)
@@ -259,14 +362,14 @@ impl SqlBackend for Database {
     fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
         self.register_udf(name, udf)
     }
-    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
-        self.create_table(schema)
+    fn create_relation(&mut self, schema: TableSchema) -> BackendResult<()> {
+        self.create_table(schema).map_err(BackendError::from)
     }
-    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
-        self.create_index(table, column)
+    fn create_relation_index(&mut self, table: &str, column: &str) -> BackendResult<()> {
+        self.create_index(table, column).map_err(BackendError::from)
     }
-    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
-        self.insert(table, row)
+    fn insert_row(&mut self, table: &str, row: Row) -> BackendResult<RowId> {
+        self.insert(table, row).map_err(BackendError::from)
     }
     fn minidb(&self) -> Option<&Database> {
         Some(self)
@@ -282,6 +385,10 @@ pub type DynBackend = Box<dyn SqlBackend>;
 /// bypass oracle suites use this to pin the trait seam itself: whatever
 /// they assert must hold for the in-process backend **and** the wire-SQL
 /// backend, with identical results.
+// Test-harness helper: init failure here is a broken test fixture, not a
+// query-path fault, so the panic is intentional (and exempt from the
+// fail-closed no-panic gate on the query path).
+#[allow(clippy::disallowed_macros)]
 pub fn for_each_backend<F>(db: &Database, options: &crate::SieveOptions, mut f: F)
 where
     F: FnMut(&'static str, crate::middleware::Sieve<DynBackend>),

@@ -42,8 +42,7 @@
 //! Every method returns [`DbError::Unsupported`] so the feature compiles
 //! and type-checks across the matrix without pretending to run.
 
-use super::SqlBackend;
-use minidb::error::{DbError, DbResult};
+use super::{BackendError, BackendResult, SqlBackend};
 use minidb::exec::{ExecOptions, QueryResult};
 use minidb::plan::SelectQuery;
 use minidb::schema::TableSchema;
@@ -59,8 +58,11 @@ pub struct PostgresBackend {
     dsn: String,
 }
 
-fn offline(what: &str) -> DbError {
-    DbError::Unsupported(format!(
+// Fatal, not Transient/ConnectionLost: the stub can never succeed, so the
+// service's retry loop must fail closed immediately instead of spinning
+// through its backoff schedule.
+fn offline(what: &str) -> BackendError {
+    BackendError::Fatal(format!(
         "postgres backend is a stub (no network crates in this build): {what}"
     ))
 }
@@ -83,14 +85,14 @@ impl SqlBackend for PostgresBackend {
     fn name(&self) -> &'static str {
         "postgres-stub"
     }
-    fn exec(&self, _query: &SelectQuery, _opts: &ExecOptions) -> DbResult<QueryResult> {
+    fn exec(&self, _query: &SelectQuery, _opts: &ExecOptions) -> BackendResult<QueryResult> {
         Err(offline("exec"))
     }
     fn exec_timed(
         &self,
         _query: &SelectQuery,
         _opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (BackendResult<QueryResult>, ExecStats) {
         (
             Err(offline("exec_timed")),
             ExecStats {
@@ -100,7 +102,7 @@ impl SqlBackend for PostgresBackend {
             },
         )
     }
-    fn table_entry(&self, _name: &str) -> DbResult<&TableEntry> {
+    fn table_entry(&self, _name: &str) -> BackendResult<&TableEntry> {
         Err(offline("table_entry (catalog mirror)"))
     }
     fn has_relation(&self, _name: &str) -> bool {
@@ -114,13 +116,13 @@ impl SqlBackend for PostgresBackend {
         // drops the registration so Sieve::with_backend can still build a
         // value whose first *query* reports the offline error.
     }
-    fn create_relation(&mut self, _schema: TableSchema) -> DbResult<()> {
+    fn create_relation(&mut self, _schema: TableSchema) -> BackendResult<()> {
         Err(offline("create_relation"))
     }
-    fn create_relation_index(&mut self, _table: &str, _column: &str) -> DbResult<()> {
+    fn create_relation_index(&mut self, _table: &str, _column: &str) -> BackendResult<()> {
         Err(offline("create_relation_index"))
     }
-    fn insert_row(&mut self, _table: &str, _row: Row) -> DbResult<RowId> {
+    fn insert_row(&mut self, _table: &str, _row: Row) -> BackendResult<RowId> {
         Err(offline("insert_row"))
     }
     // `prepare` keeps the trait default (`Ok(None)`): callers fall back
@@ -141,9 +143,13 @@ mod tests {
         assert_eq!(backend.engine_profile(), DbProfile::PostgresLike);
         assert!(!backend.has_relation("wifi_dataset"));
         let err = backend.exec(&SelectQuery::star_from("t"), &ExecOptions::default());
-        assert!(matches!(err, Err(DbError::Unsupported(_))));
+        // Fatal (non-retryable): the service must not spin on the stub.
+        match err {
+            Err(ref e @ BackendError::Fatal(_)) => assert!(!e.is_retryable()),
+            other => panic!("expected Fatal, got {other:?}"),
+        }
         let err = backend.insert_row("t", vec![]);
-        assert!(matches!(err, Err(DbError::Unsupported(_))));
+        assert!(matches!(err, Err(BackendError::Fatal(_))));
     }
 
     #[test]
@@ -157,6 +163,9 @@ mod tests {
         sieve.protect("wifi_dataset");
         let qm = crate::policy::QueryMetadata::new(1, "Any");
         let res = sieve.execute(&SelectQuery::star_from("wifi_dataset"), &qm);
-        assert!(matches!(res, Err(DbError::Unsupported(_))));
+        assert!(matches!(
+            res,
+            Err(crate::SieveError::Backend(BackendError::Fatal(_)))
+        ));
     }
 }

@@ -16,9 +16,9 @@
 //! own client-library calls for setup rather than the measured query
 //! path.
 
-use super::{PreparedStatement, SqlBackend, StatementId};
+use super::{BackendError, BackendResult, PreparedStatement, SqlBackend, StatementId};
 use crate::lru::LruMap;
-use minidb::error::{DbError, DbResult};
+use minidb::error::DbResult;
 use minidb::exec::{ExecOptions, QueryResult};
 use minidb::plan::SelectQuery;
 use minidb::schema::TableSchema;
@@ -142,15 +142,15 @@ impl SqlBackend for WireSqlBackend {
     fn name(&self) -> &'static str {
         "wire-sql"
     }
-    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+    fn exec(&self, query: &SelectQuery, opts: &ExecOptions) -> BackendResult<QueryResult> {
         let parsed = self.ship(query)?;
-        self.db.run_query_opts(&parsed, opts)
+        self.db.run_query_opts(&parsed, opts).map_err(BackendError::from)
     }
     fn exec_timed(
         &self,
         query: &SelectQuery,
         opts: &ExecOptions,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (BackendResult<QueryResult>, ExecStats) {
         // The render+parse round trip is genuine dispatch cost; charge it
         // to the measured wall time so timed experiments see the wire.
         let t0 = std::time::Instant::now();
@@ -158,7 +158,7 @@ impl SqlBackend for WireSqlBackend {
             Ok(p) => p,
             Err(e) => {
                 return (
-                    Err(e),
+                    Err(BackendError::from(e)),
                     ExecStats {
                         counters: Default::default(),
                         wall: t0.elapsed(),
@@ -170,10 +170,10 @@ impl SqlBackend for WireSqlBackend {
         let dispatch: Duration = t0.elapsed();
         let (res, mut stats) = self.db.run_timed(&parsed, opts);
         stats.wall += dispatch;
-        (res, stats)
+        (res.map_err(BackendError::from), stats)
     }
-    fn table_entry(&self, name: &str) -> DbResult<&TableEntry> {
-        self.db.table(name)
+    fn table_entry(&self, name: &str) -> BackendResult<&TableEntry> {
+        self.db.table(name).map_err(BackendError::from)
     }
     fn has_relation(&self, name: &str) -> bool {
         self.db.has_table(name)
@@ -184,21 +184,21 @@ impl SqlBackend for WireSqlBackend {
     fn install_udf(&mut self, name: &str, udf: Arc<dyn Udf>) {
         self.db.register_udf(name, udf)
     }
-    fn create_relation(&mut self, schema: TableSchema) -> DbResult<()> {
-        self.db.create_table(schema)
+    fn create_relation(&mut self, schema: TableSchema) -> BackendResult<()> {
+        self.db.create_table(schema).map_err(BackendError::from)
     }
-    fn create_relation_index(&mut self, table: &str, column: &str) -> DbResult<()> {
-        self.db.create_index(table, column)
+    fn create_relation_index(&mut self, table: &str, column: &str) -> BackendResult<()> {
+        self.db.create_index(table, column).map_err(BackendError::from)
     }
-    fn insert_row(&mut self, table: &str, row: Row) -> DbResult<RowId> {
-        self.db.insert(table, row)
+    fn insert_row(&mut self, table: &str, row: Row) -> BackendResult<RowId> {
+        self.db.insert(table, row).map_err(BackendError::from)
     }
     /// The server-side prepare: lift literals into `?` placeholders,
     /// render the literal-free template, and parse it **once per template
     /// text** — queriers whose rewrites differ only in policy literals
     /// share one parsed template. The returned statement executes by id
     /// with bound parameters; no SQL text crosses the wire again.
-    fn prepare(&self, query: &SelectQuery) -> DbResult<Option<PreparedStatement>> {
+    fn prepare(&self, query: &SelectQuery) -> BackendResult<Option<PreparedStatement>> {
         self.prepares.fetch_add(1, Ordering::Relaxed);
         let (template_ast, params) = minidb::sql::parameterize(query);
         let sql = minidb::sql::render_query(&template_ast);
@@ -246,16 +246,17 @@ impl SqlBackend for WireSqlBackend {
         id: StatementId,
         params: &[Value],
         opts: &ExecOptions,
-    ) -> DbResult<QueryResult> {
+    ) -> BackendResult<QueryResult> {
         // Clone the Arcs out so the registry lock is not held across
         // execution (a concurrent close must not block the data plane).
         let (plan, rebind) = {
             let statements = self.statements.read();
-            let entry = statements.get(&id).ok_or_else(|| {
-                DbError::Unsupported(format!(
-                    "unknown prepared statement {id} (closed or never prepared)"
-                ))
-            })?;
+            // An id missing from the registry — closed, evicted, or wiped
+            // by a connection loss — is the typed signal the session layer
+            // recovers from by re-preparing exactly once.
+            let entry = statements
+                .get(&id)
+                .ok_or(BackendError::UnknownStatement(id))?;
             if entry.params == params {
                 (entry.bound.clone(), None)
             } else {
@@ -266,10 +267,10 @@ impl SqlBackend for WireSqlBackend {
         match rebind {
             // Warm fast path: parameters unchanged since prepare — run
             // the pre-bound plan with no render, parse, or rebind.
-            None => self.db.run_query_opts(&plan, opts),
+            None => self.db.run_query_opts(&plan, opts).map_err(BackendError::from),
             Some(()) => {
                 let bound = minidb::sql::bind_params(&plan, params)?;
-                self.db.run_query_opts(&bound, opts)
+                self.db.run_query_opts(&bound, opts).map_err(BackendError::from)
             }
         }
     }

@@ -16,7 +16,7 @@
 use crate::backend::SqlBackend;
 use crate::delta::{delta_call_expr, DeltaRegistry, PartitionHandle};
 use crate::policy::Policy;
-use minidb::error::DbResult;
+use crate::error::SieveResult;
 use minidb::expr::Expr;
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
 use minidb::SelectItem;
@@ -101,7 +101,7 @@ pub fn rewrite_baseline_u(
     original: &SelectQuery,
     relation: &str,
     policies: &[&Policy],
-) -> DbResult<(SelectQuery, Vec<PartitionHandle>)> {
+) -> SieveResult<(SelectQuery, Vec<PartitionHandle>)> {
     let schema = backend.table_entry(relation)?.schema();
     // Policies with derived conditions cannot go through the UDF; keep
     // them as an inline OR alongside the UDF call.

@@ -22,7 +22,7 @@ use crate::policy::Policy;
 use crate::semantics::{eval_policies, measure_alpha};
 use minidb::stats::CostWeights;
 use minidb::table::ROWS_PER_PAGE;
-use minidb::DbResult;
+use crate::error::SieveResult;
 
 /// Calibrated cost constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,7 +195,7 @@ pub fn calibrate(
     table: &str,
     sample_policies: &[&Policy],
     sample_rows: usize,
-) -> DbResult<CostModel> {
+) -> SieveResult<CostModel> {
     let mut model = CostModel::default();
     let entry = backend.table_entry(table)?;
     let schema = entry.schema();

@@ -345,8 +345,12 @@ fn sweep_merge(
             let rho_inter = estimate_condition_rows(&inter, entry);
             let rho_union = estimate_condition_rows(&union, entry).max(f64::EPSILON);
             if rho_inter / rho_union > threshold {
-                let next = slot.take().unwrap();
-                cur.policies.extend(next.policies);
+                // `slot` was checked non-empty above and nothing between
+                // there and here can clear it, but keep the take fallible
+                // rather than panicking on the query path.
+                if let Some(next) = slot.take() {
+                    cur.policies.extend(next.policies);
+                }
                 cur.condition = union;
                 cur.est_rows = rho_union;
             }

@@ -65,12 +65,11 @@ pub fn owner_fallback_guards(
     for (id, owner) in policies {
         by_owner.entry(owner).or_default().push(id);
     }
-    let mut owners: Vec<i64> = by_owner.keys().copied().collect();
-    owners.sort_unstable();
-    owners
+    let mut entries: Vec<(i64, Vec<PolicyId>)> = by_owner.into_iter().collect();
+    entries.sort_unstable_by_key(|(owner, _)| *owner);
+    entries
         .into_iter()
-        .map(|owner| {
-            let mut ids = by_owner.remove(&owner).unwrap();
+        .map(|(owner, mut ids)| {
             ids.sort_unstable();
             let cond = ObjectCondition::new(OWNER_ATTR, CondPredicate::Eq(Value::Int(owner)));
             let est_rows = estimate_condition_rows(&cond, entry);

@@ -42,6 +42,12 @@
 //! cover (parallelized across threads under the service).
 
 #![warn(missing_docs)]
+// The query path must fail closed with typed errors, never panic: gate
+// `unwrap`/`expect`/`panic!` behind clippy's disallowed lists (see the
+// root `clippy.toml`). Tests opt back in — a failed assertion *should*
+// panic there.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 
 pub mod backend;
 pub mod baselines;
@@ -51,6 +57,7 @@ pub mod cost;
 pub mod delta;
 pub mod deny;
 pub mod dynamic;
+pub mod error;
 pub mod filter;
 pub mod guard;
 pub mod lru;
@@ -62,18 +69,22 @@ pub mod service;
 pub mod session;
 pub mod store;
 
-pub use backend::{MinidbBackend, SqlBackend};
+pub use backend::{
+    BackendError, BackendResult, Fault, FaultConfig, FaultCounts, FaultInjectingBackend,
+    MinidbBackend, SqlBackend,
+};
 #[cfg(feature = "wire-sql")]
 pub use backend::WireSqlBackend;
 pub use batch::{BatchGroupReport, BatchPrepareReport};
+pub use error::{SieveError, SieveResult};
 pub use cache::{GuardCache, GuardCacheStats};
 pub use cost::{AccessStrategy, CostModel, StrategyCosts};
 pub use filter::{policy_applies, relevant_policies, GroupDirectory};
 pub use guard::{Guard, GuardSelectionStrategy, GuardedExpression};
-pub use middleware::{Sieve, SieveOptions};
+pub use middleware::{RetryPolicy, Sieve, SieveOptions};
 pub use policy::{
     Action, CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec, QueryMetadata,
     UserId, OWNER_ATTR, PURPOSE_ANY,
 };
-pub use service::SieveService;
+pub use service::{RecoveryStats, SieveService};
 pub use session::{Prepared, Session};

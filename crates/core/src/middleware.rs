@@ -34,9 +34,9 @@ use crate::dynamic::RegenerationPolicy;
 use crate::filter::GroupDirectory;
 use crate::guard::{GuardSelectionStrategy, GuardedExpression};
 use crate::policy::{Policy, PolicyId, QueryMetadata};
+use crate::error::SieveResult;
 use crate::rewrite::{RewriteOptions, RewriteOutput};
-use crate::service::{MappedReadGuard, ServiceShared, SieveService};
-use minidb::error::DbResult;
+use crate::service::{MappedReadGuard, RecoveryStats, ServiceShared, SieveService};
 use minidb::plan::SelectQuery;
 use minidb::stats::ExecStats;
 use minidb::{Database, QueryResult};
@@ -45,6 +45,48 @@ use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How the service retries retryable backend failures
+/// ([`crate::backend::BackendError::is_retryable`]): bounded attempts,
+/// deterministic exponential backoff, and an optional wall-clock budget.
+/// Non-retryable errors ignore this policy entirely and fail closed on
+/// the first attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`3` ⇒ up to 4 attempts total).
+    /// `0` disables retrying.
+    pub max_retries: u32,
+    /// Backoff before retry *n* is `base_backoff × 2^(n−1)`, capped at
+    /// [`RetryPolicy::max_backoff`]. Deterministic — no jitter — so fault
+    /// schedules replay identically under a fixed seed.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget across all attempts of one operation;
+    /// `None` bounds recovery by attempt count alone.
+    pub budget: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            budget: Some(Duration::from_secs(1)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+}
 
 /// Configuration of the middleware.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +102,8 @@ pub struct SieveOptions {
     /// Mirror policies and guards into the `rP`/`rOC`/`rGE`/`rGG`/`rGP`
     /// relations (Section 5.1).
     pub persist: bool,
+    /// Retry/backoff policy for retryable backend failures.
+    pub retry: RetryPolicy,
 }
 
 /// Which enforcement mechanism to run a query under (for experiments).
@@ -83,7 +127,7 @@ pub struct Sieve<B: SqlBackend = MinidbBackend> {
 impl Sieve<MinidbBackend> {
     /// Wrap an in-process database behind the default backend. Installs
     /// the ∆ UDF; creates the policy relations when persistence is on.
-    pub fn new(db: Database, options: SieveOptions) -> DbResult<Self> {
+    pub fn new(db: Database, options: SieveOptions) -> SieveResult<Self> {
         Self::with_backend(MinidbBackend::new(db), options)
     }
 
@@ -110,7 +154,7 @@ impl Sieve<MinidbBackend> {
 impl<B: SqlBackend> Sieve<B> {
     /// Wrap an arbitrary execution backend. Installs the ∆ UDF; creates
     /// the policy relations when persistence is on.
-    pub fn with_backend(backend: B, options: SieveOptions) -> DbResult<Self> {
+    pub fn with_backend(backend: B, options: SieveOptions) -> SieveResult<Self> {
         Ok(Sieve {
             service: SieveService::with_backend(backend, options)?,
         })
@@ -130,6 +174,10 @@ impl<B: SqlBackend> Sieve<B> {
         self.service
     }
 
+    // A still-alive clone here is a caller contract violation, not a
+    // query-path fault — the documented panic stays (allowed past the
+    // fail-closed lint gate deliberately).
+    #[allow(clippy::disallowed_methods)]
     fn shared_mut(&mut self) -> &mut ServiceShared<B> {
         Arc::get_mut(&mut self.service.inner).expect(
             "Sieve's &mut accessors need exclusive ownership of the underlying \
@@ -177,7 +225,7 @@ impl<B: SqlBackend> Sieve<B> {
     }
 
     /// Calibrate the cost model against a loaded table (Section 5.4).
-    pub fn calibrate(&mut self, table: &str, sample_rows: usize) -> DbResult<()> {
+    pub fn calibrate(&mut self, table: &str, sample_rows: usize) -> SieveResult<()> {
         self.service.calibrate(table, sample_rows)
     }
 
@@ -217,12 +265,12 @@ impl<B: SqlBackend> Sieve<B> {
 
     /// Register a policy. Marks affected guarded expressions outdated and
     /// (optionally) persists to the policy relations.
-    pub fn add_policy(&mut self, policy: Policy) -> DbResult<PolicyId> {
+    pub fn add_policy(&mut self, policy: Policy) -> SieveResult<PolicyId> {
         self.service.add_policy(policy)
     }
 
     /// Bulk registration.
-    pub fn add_policies(&mut self, policies: impl IntoIterator<Item = Policy>) -> DbResult<()> {
+    pub fn add_policies(&mut self, policies: impl IntoIterator<Item = Policy>) -> SieveResult<()> {
         self.service.add_policies(policies)
     }
 
@@ -234,6 +282,12 @@ impl<B: SqlBackend> Sieve<B> {
     /// Guard-cache counters (hits, misses, invalidations, fragment work).
     pub fn cache_stats(&self) -> GuardCacheStats {
         self.service.cache_stats()
+    }
+
+    /// Recovery counters (retries, reconnects, re-prepares, exhausted
+    /// budgets).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.service.recovery_stats()
     }
 
     /// Guarded-expression generations performed (observability).
@@ -268,19 +322,19 @@ impl<B: SqlBackend> Sieve<B> {
         &mut self,
         qm: &QueryMetadata,
         relation: &str,
-    ) -> DbResult<GuardedExpression> {
+    ) -> SieveResult<GuardedExpression> {
         self.service.guarded_expression(qm, relation)
     }
 
     /// Rewrite a query for a querier without executing it (Section 5.6's
     /// output; useful for inspection and tests). Satisfied by the guard
     /// cache on repeat queries.
-    pub fn rewrite(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
+    pub fn rewrite(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> SieveResult<RewriteOutput> {
         self.service.rewrite(query, qm)
     }
 
     /// Execute a query under SIEVE enforcement.
-    pub fn execute(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<QueryResult> {
+    pub fn execute(&mut self, query: &SelectQuery, qm: &QueryMetadata) -> SieveResult<QueryResult> {
         self.service.execute(query, qm)
     }
 
@@ -291,7 +345,7 @@ impl<B: SqlBackend> Sieve<B> {
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (SieveResult<QueryResult>, ExecStats) {
         self.service.run_timed(enforcement, query, qm)
     }
 
@@ -302,13 +356,13 @@ impl<B: SqlBackend> Sieve<B> {
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
-    ) -> DbResult<SelectQuery> {
+    ) -> SieveResult<SelectQuery> {
         self.service.prepare(enforcement, query, qm)
     }
 
     /// Parse SQL, then [`Sieve::execute`]. Repeat textual queries reuse
     /// the cached AST instead of re-parsing.
-    pub fn execute_sql(&mut self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
+    pub fn execute_sql(&mut self, sql: &str, qm: &QueryMetadata) -> SieveResult<QueryResult> {
         self.service.execute_sql(sql, qm)
     }
 
@@ -327,7 +381,7 @@ impl<B: SqlBackend> Sieve<B> {
     pub fn prepare_batch(
         &mut self,
         requests: &[(QueryMetadata, SelectQuery)],
-    ) -> DbResult<BatchPrepareReport> {
+    ) -> SieveResult<BatchPrepareReport> {
         self.service.prepare_batch(requests)
     }
 
@@ -338,7 +392,7 @@ impl<B: SqlBackend> Sieve<B> {
     pub fn execute_batch(
         &mut self,
         requests: &[(QueryMetadata, SelectQuery)],
-    ) -> DbResult<Vec<QueryResult>> {
+    ) -> SieveResult<Vec<QueryResult>> {
         self.service.execute_batch(requests)
     }
 }

@@ -40,7 +40,7 @@ use crate::cost::{AccessStrategy, CostModel};
 use crate::delta::{delta_call_expr, DeltaRegistry, PartitionHandle, PartitionKey};
 use crate::guard::GuardedExpression;
 use crate::policy::{Policy, PolicyId};
-use minidb::error::DbResult;
+use crate::error::{SieveError, SieveResult};
 use minidb::expr::{ColumnRef, Expr};
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
 use minidb::planner::{best_sargable_probe, classify_predicate};
@@ -168,7 +168,7 @@ pub fn compile_guard_fragment(
     by_id: &HashMap<PolicyId, &Policy>,
     cost: &CostModel,
     delta_mode: DeltaMode,
-) -> DbResult<GuardFragment> {
+) -> SieveResult<GuardFragment> {
     let entry = backend.table_entry(&ge.relation)?;
     let schema = entry.schema();
     let mut branches = Vec::with_capacity(ge.guards.len());
@@ -230,7 +230,7 @@ pub fn compile_relations(
     by_id: &HashMap<PolicyId, &Policy>,
     cost: &CostModel,
     delta_mode: DeltaMode,
-) -> DbResult<HashMap<String, CompiledRelation>> {
+) -> SieveResult<HashMap<String, CompiledRelation>> {
     let mut out = HashMap::new();
     for (rel, ge) in guarded {
         let fragment = compile_guard_fragment(backend, delta, ge, by_id, cost, delta_mode)?;
@@ -428,7 +428,7 @@ impl Rewriter<'_> {
         &mut self,
         query: &SelectQuery,
         scope: &HashSet<String>,
-    ) -> DbResult<SelectQuery> {
+    ) -> SieveResult<SelectQuery> {
         let mut scope = scope.clone();
         let mut with = Vec::with_capacity(query.with.len());
         for wc in &query.with {
@@ -520,7 +520,7 @@ impl Rewriter<'_> {
     }
 
     /// Rebuild an expression, descending into scalar subqueries.
-    fn rewrite_expr(&mut self, e: &Expr, scope: &HashSet<String>) -> DbResult<Expr> {
+    fn rewrite_expr(&mut self, e: &Expr, scope: &HashSet<String>) -> SieveResult<Expr> {
         Ok(match e {
             Expr::ScalarSubquery(q) => {
                 Expr::ScalarSubquery(Box::new(self.rewrite_level(q, scope)?))
@@ -551,7 +551,7 @@ impl Rewriter<'_> {
                 list: list
                     .iter()
                     .map(|x| self.rewrite_expr(x, scope))
-                    .collect::<DbResult<Vec<_>>>()?,
+                    .collect::<SieveResult<Vec<_>>>()?,
                 negated: *negated,
             },
             Expr::IsNull { expr, negated } => Expr::IsNull {
@@ -561,12 +561,12 @@ impl Rewriter<'_> {
             Expr::And(v) => Expr::And(
                 v.iter()
                     .map(|x| self.rewrite_expr(x, scope))
-                    .collect::<DbResult<Vec<_>>>()?,
+                    .collect::<SieveResult<Vec<_>>>()?,
             ),
             Expr::Or(v) => Expr::Or(
                 v.iter()
                     .map(|x| self.rewrite_expr(x, scope))
-                    .collect::<DbResult<Vec<_>>>()?,
+                    .collect::<SieveResult<Vec<_>>>()?,
             ),
             Expr::Not(x) => Expr::Not(Box::new(self.rewrite_expr(x, scope)?)),
             Expr::Udf { name, args } => Expr::Udf {
@@ -574,15 +574,18 @@ impl Rewriter<'_> {
                 args: args
                     .iter()
                     .map(|x| self.rewrite_expr(x, scope))
-                    .collect::<DbResult<Vec<_>>>()?,
+                    .collect::<SieveResult<Vec<_>>>()?,
             },
         })
     }
 
     /// Build the guard WITH clause for a protected relation (strategy
     /// choice, optional pushdown, branch assembly) and record the decision.
-    fn create_guard_with(&mut self, rel: &str, local_bare: Option<Expr>) -> DbResult<String> {
-        let cr = self.compiled.get(rel).expect("caller checked membership");
+    fn create_guard_with(&mut self, rel: &str, local_bare: Option<Expr>) -> SieveResult<String> {
+        let cr = self
+            .compiled
+            .get(rel)
+            .ok_or(SieveError::Internal("rewrite: guard WITH requested for an uncompiled relation"))?;
         let ge = &cr.expr;
         let fragment = &cr.fragment;
         let entry = self.backend.table_entry(rel)?;
@@ -600,15 +603,19 @@ impl Rewriter<'_> {
                 .best()
         });
 
-        // Assemble one branch per compiled guard.
-        let push_qpred = !self.opts.no_predicate_pushdown
-            && strategy == AccessStrategy::IndexGuards
-            && local_bare.is_some();
+        // Assemble one branch per compiled guard. The pushed-down query
+        // predicate exists only under IndexGuards with a local predicate.
+        let pushed = match (&local_bare, strategy) {
+            (Some(q), AccessStrategy::IndexGuards) if !self.opts.no_predicate_pushdown => {
+                Some(q.clone())
+            }
+            _ => None,
+        };
         let mut branches = Vec::with_capacity(fragment.branches.len());
         for b in &fragment.branches {
             let mut parts = vec![b.condition.clone()];
-            if push_qpred {
-                parts.push(local_bare.clone().expect("push_qpred implies local"));
+            if let Some(q) = &pushed {
+                parts.push(q.clone());
             }
             parts.push(b.partition.clone());
             branches.push(Expr::all(parts));
@@ -738,7 +745,7 @@ pub fn rewrite_query(
     compiled: &HashMap<String, CompiledRelation>,
     cost: &CostModel,
     opts: &RewriteOptions,
-) -> DbResult<RewriteOutput> {
+) -> SieveResult<RewriteOutput> {
     let mut rw = Rewriter {
         backend,
         compiled,

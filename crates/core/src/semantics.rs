@@ -238,7 +238,7 @@ pub fn visible_rows(
     db: &dyn SqlBackend,
     table: &str,
     policies: &[&Policy],
-) -> minidb::DbResult<Vec<Row>> {
+) -> crate::error::SieveResult<Vec<Row>> {
     let entry = db.table_entry(table)?;
     let schema = entry.schema();
     Ok(entry

@@ -52,7 +52,7 @@
 //! [`crate::session::Prepared`] pins a compiled rewrite for repeated
 //! execution with zero cache traffic while fresh.
 
-use crate::backend::{MinidbBackend, SqlBackend};
+use crate::backend::{BackendError, MinidbBackend, SqlBackend};
 use crate::baselines::{
     rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
 };
@@ -71,11 +71,12 @@ use crate::rewrite::{
     classify_protected_refs, collect_protected, compile_guard_fragment, rewrite_query,
     CompiledRelation, RewriteOutput,
 };
+use crate::error::{SieveError, SieveResult};
 use crate::store::{
     create_policy_tables, persist_guarded_expression, persist_policy, GuardTableIds,
     PolicyStore,
 };
-use minidb::error::{DbError, DbResult};
+use minidb::error::DbError;
 use minidb::exec::ExecOptions;
 use minidb::plan::SelectQuery;
 use minidb::stats::ExecStats;
@@ -134,6 +135,33 @@ pub(crate) struct PersistState {
     pub(crate) oc_id: i64,
 }
 
+/// Internal atomics behind [`RecoveryStats`].
+#[derive(Default)]
+pub(crate) struct RecoveryCounters {
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    reprepares: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// Counters for the fault-recovery machinery, the recovery-side
+/// complement of [`GuardCacheStats`]. Snapshot via
+/// [`SieveService::recovery_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Retry attempts issued after a retryable backend error (each sleep
+    /// of the backoff schedule counts once).
+    pub retries: u64,
+    /// Connection-loss events observed; each one bumps the backend epoch
+    /// so every prepared plan re-prepares against the fresh connection.
+    pub reconnects: u64,
+    /// Prepared-plan rebuilds (staleness- or error-triggered) across all
+    /// sessions of this service.
+    pub reprepares: u64,
+    /// Operations that still failed after exhausting the retry budget.
+    pub exhausted: u64,
+}
+
 /// Everything one service instance shares across its clones, sessions and
 /// prepared statements.
 pub(crate) struct ServiceShared<B: SqlBackend> {
@@ -161,6 +189,7 @@ pub(crate) struct ServiceShared<B: SqlBackend> {
     baseline_pins: Mutex<VecDeque<PreparePins>>,
     sql_cache: RwLock<crate::lru::LruMap<Arc<SelectQuery>>>,
     pub(crate) generations: AtomicU64,
+    pub(crate) recovery: RecoveryCounters,
 }
 
 /// The concurrent SIEVE middleware handle. Clones share all state; see
@@ -181,7 +210,7 @@ impl<B: SqlBackend> Clone for SieveService<B> {
 impl SieveService<MinidbBackend> {
     /// Wrap an in-process database behind the default backend. Installs
     /// the ∆ UDF; creates the policy relations when persistence is on.
-    pub fn new(db: Database, options: SieveOptions) -> DbResult<Self> {
+    pub fn new(db: Database, options: SieveOptions) -> SieveResult<Self> {
         Self::with_backend(MinidbBackend::new(db), options)
     }
 
@@ -208,7 +237,7 @@ impl SieveService<MinidbBackend> {
 impl<B: SqlBackend> SieveService<B> {
     /// Wrap an arbitrary execution backend. Installs the ∆ UDF; creates
     /// the policy relations when persistence is on.
-    pub fn with_backend(mut backend: B, options: SieveOptions) -> DbResult<Self> {
+    pub fn with_backend(mut backend: B, options: SieveOptions) -> SieveResult<Self> {
         let delta = DeltaRegistry::new();
         delta.install(&mut backend);
         if options.persist {
@@ -233,6 +262,7 @@ impl<B: SqlBackend> SieveService<B> {
                 baseline_pins: Mutex::new(VecDeque::new()),
                 sql_cache: RwLock::new(crate::lru::LruMap::new(SQL_CACHE_CAP)),
                 generations: AtomicU64::new(0),
+                recovery: RecoveryCounters::default(),
             }),
         })
     }
@@ -282,7 +312,7 @@ impl<B: SqlBackend> SieveService<B> {
     }
 
     /// Calibrate the cost model against a loaded table (Section 5.4).
-    pub fn calibrate(&self, table: &str, sample_rows: usize) -> DbResult<()> {
+    pub fn calibrate(&self, table: &str, sample_rows: usize) -> SieveResult<()> {
         let policies: Vec<Policy> =
             self.inner.store.read().iter().take(64).cloned().collect();
         let refs: Vec<&Policy> = policies.iter().collect();
@@ -343,11 +373,15 @@ impl<B: SqlBackend> SieveService<B> {
     /// (optionally) persists to the policy relations. See the module docs
     /// for why a query starting after this returns can never miss the
     /// policy.
-    pub fn add_policy(&self, policy: Policy) -> DbResult<PolicyId> {
+    pub fn add_policy(&self, policy: Policy) -> SieveResult<PolicyId> {
         let (id, stored) = {
             let mut store = self.inner.store.write();
             let id = store.add(policy);
-            (id, store.get(id).expect("just inserted").clone())
+            let stored = store
+                .get(id)
+                .ok_or(SieveError::Internal("policy vanished under write lock"))?
+                .clone();
+            (id, stored)
         };
         self.inner.protected.write().insert(stored.relation.clone());
         // Persist failure must not short-circuit: the policy is already
@@ -380,7 +414,7 @@ impl<B: SqlBackend> SieveService<B> {
     }
 
     /// Bulk registration.
-    pub fn add_policies(&self, policies: impl IntoIterator<Item = Policy>) -> DbResult<()> {
+    pub fn add_policies(&self, policies: impl IntoIterator<Item = Policy>) -> SieveResult<()> {
         for p in policies {
             self.add_policy(p)?;
         }
@@ -479,7 +513,7 @@ impl<B: SqlBackend> SieveService<B> {
         relation: &str,
         opts: &SieveOptions,
         cost: &CostModel,
-    ) -> DbResult<GuardCacheKey> {
+    ) -> SieveResult<GuardCacheKey> {
         let key: GuardCacheKey = (qm.querier, qm.purpose.clone(), relation.to_string());
         enum Need {
             Fresh,
@@ -604,18 +638,22 @@ impl<B: SqlBackend> SieveService<B> {
         relation: &str,
         opts: &SieveOptions,
         cost: &CostModel,
-    ) -> DbResult<CompiledRelation> {
+    ) -> SieveResult<CompiledRelation> {
         let mode = opts.rewrite.delta_mode;
         let key = self.refresh_entry(qm, relation, opts, cost)?;
         loop {
             // Warm path: one shard read checks freshness and clones the
             // Arcs out.
             let fresh = self.inner.cache.read(&key, |c| {
-                c.fragment_fresh(mode).then(|| CompiledRelation {
+                if !c.fragment_fresh(mode) {
+                    return None;
+                }
+                // A fresh stamp with a missing fragment would break an
+                // invariant; treat it as stale and recompile rather than
+                // panic on the query path.
+                c.fragment.as_ref().map(|f| CompiledRelation {
                     expr: Arc::clone(&c.effective),
-                    fragment: Arc::clone(
-                        &c.fragment.as_ref().expect("fresh implies built").fragment,
-                    ),
+                    fragment: Arc::clone(&f.fragment),
                 })
             });
             match fresh {
@@ -662,13 +700,15 @@ impl<B: SqlBackend> SieveService<B> {
                 .cache
                 .write(&key, |c| {
                     if c.fragment_fresh(mode) {
-                        // Another thread won the compile race; use theirs.
-                        return Some(CompiledRelation {
-                            expr: Arc::clone(&c.effective),
-                            fragment: Arc::clone(
-                                &c.fragment.as_ref().expect("fresh implies built").fragment,
-                            ),
-                        });
+                        // Another thread won the compile race; use theirs
+                        // (falling through to install ours if its fragment
+                        // is unexpectedly missing).
+                        if let Some(f) = c.fragment.as_ref() {
+                            return Some(CompiledRelation {
+                                expr: Arc::clone(&c.effective),
+                                fragment: Arc::clone(&f.fragment),
+                            });
+                        }
                     }
                     if Arc::ptr_eq(&c.effective, &effective) {
                         c.fragment = Some(CachedFragment {
@@ -711,7 +751,7 @@ impl<B: SqlBackend> SieveService<B> {
     /// names resolved against the query's WITH scope first (a CTE that
     /// shadows a protected name is not a base-table read). There is no
     /// nesting depth at which enforcement is skipped.
-    pub fn rewrite(&self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<RewriteOutput> {
+    pub fn rewrite(&self, query: &SelectQuery, qm: &QueryMetadata) -> SieveResult<RewriteOutput> {
         let (opts, cost) = self.snapshot_config();
         let rels = {
             let protected = self.inner.protected.read();
@@ -732,20 +772,84 @@ impl<B: SqlBackend> SieveService<B> {
         }
     }
 
+    /// Snapshot of the recovery counters (retries, reconnects,
+    /// re-prepares, exhausted budgets).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            retries: self.inner.recovery.retries.load(Ordering::Relaxed),
+            reconnects: self.inner.recovery.reconnects.load(Ordering::Relaxed),
+            reprepares: self.inner.recovery.reprepares.load(Ordering::Relaxed),
+            exhausted: self.inner.recovery.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record a prepared-plan rebuild (called by the session layer).
+    pub(crate) fn note_reprepare(&self) {
+        self.inner.recovery.reprepares.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Run a backend operation under the configured [`crate::middleware::RetryPolicy`]:
+    /// retryable errors ([`BackendError::is_retryable`]) are re-issued with
+    /// deterministic exponential backoff until the attempt or time budget
+    /// runs out; everything else fails closed on the first attempt.
+    ///
+    /// A [`BackendError::ConnectionLost`] additionally bumps the backend
+    /// epoch — server-side statement state is gone, so every
+    /// [`crate::session::Prepared`] plan must detectably re-prepare — and
+    /// counts as a reconnect. Each attempt takes the backend read lock
+    /// individually and drops it before sleeping, so the retry loop never
+    /// starves writers (or other queries) during its backoff.
+    fn with_backend_retry<T>(
+        &self,
+        mut op: impl FnMut(&B) -> Result<T, BackendError>,
+    ) -> SieveResult<T> {
+        let retry = self.inner.options.read().retry;
+        let start = std::time::Instant::now();
+        let mut attempts: u32 = 0;
+        loop {
+            let err = {
+                let backend = self.inner.backend.read();
+                match op(&backend) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => e,
+                }
+            };
+            attempts += 1;
+            if matches!(err, BackendError::ConnectionLost(_)) {
+                self.inner.recovery.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.inner.backend_epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            let budget_ok = retry.budget.map(|b| start.elapsed() < b).unwrap_or(true);
+            if !err.is_retryable() || attempts > retry.max_retries || !budget_ok {
+                if err.is_retryable() {
+                    self.inner.recovery.exhausted.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(if attempts == 1 {
+                    SieveError::Backend(err)
+                } else {
+                    SieveError::RetriesExhausted {
+                        attempts,
+                        last: err,
+                    }
+                });
+            }
+            self.inner.recovery.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(retry.backoff_for(attempts));
+        }
+    }
+
     /// Execute a query under SIEVE enforcement.
-    pub fn execute(&self, query: &SelectQuery, qm: &QueryMetadata) -> DbResult<QueryResult> {
+    pub fn execute(&self, query: &SelectQuery, qm: &QueryMetadata) -> SieveResult<QueryResult> {
         let rewritten = self.rewrite(query, qm)?;
         let opts = self.exec_options();
-        let backend = self.inner.backend.read();
-        backend.exec(&rewritten.query, &opts)
+        self.with_backend_retry(|b| b.exec(&rewritten.query, &opts))
     }
 
     /// Execute an already-rewritten query (the [`crate::session::Prepared`]
     /// hot path: no cache traffic at all — the caller pins the fragments).
-    pub(crate) fn exec_prepared(&self, query: &SelectQuery) -> DbResult<QueryResult> {
+    pub(crate) fn exec_prepared(&self, query: &SelectQuery) -> SieveResult<QueryResult> {
         let opts = self.exec_options();
-        let backend = self.inner.backend.read();
-        backend.exec(query, &opts)
+        self.with_backend_retry(|b| b.exec(query, &opts))
     }
 
     /// Ask the backend for a server-side statement handle over an
@@ -754,21 +858,22 @@ impl<B: SqlBackend> SieveService<B> {
     pub(crate) fn prepare_statement(
         &self,
         query: &SelectQuery,
-    ) -> DbResult<Option<crate::backend::PreparedStatement>> {
-        let backend = self.inner.backend.read();
-        backend.prepare(query)
+    ) -> SieveResult<Option<crate::backend::PreparedStatement>> {
+        self.with_backend_retry(|b| b.prepare(query))
     }
 
     /// Execute a server-side prepared statement with bound parameters
-    /// (the [`crate::session::Prepared`] hot path on wire backends).
+    /// (the [`crate::session::Prepared`] hot path on wire backends). A
+    /// connection drop mid-retry typically resurfaces as
+    /// [`BackendError::UnknownStatement`] on the fresh connection — the
+    /// typed signal the session layer re-prepares on.
     pub(crate) fn execute_statement(
         &self,
         id: crate::backend::StatementId,
         params: &[minidb::value::Value],
-    ) -> DbResult<QueryResult> {
+    ) -> SieveResult<QueryResult> {
         let opts = self.exec_options();
-        let backend = self.inner.backend.read();
-        backend.execute_prepared(id, params, &opts)
+        self.with_backend_retry(|b| b.execute_prepared(id, params, &opts))
     }
 
     /// Close a server-side prepared statement; unknown ids are a no-op.
@@ -787,7 +892,7 @@ impl<B: SqlBackend> SieveService<B> {
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
-    ) -> (DbResult<QueryResult>, ExecStats) {
+    ) -> (SieveResult<QueryResult>, ExecStats) {
         let (prepared, _pins) = match self.prepare_pinned(enforcement, query, qm) {
             Ok(t) => t,
             Err(e) => {
@@ -802,8 +907,20 @@ impl<B: SqlBackend> SieveService<B> {
             }
         };
         let opts = self.exec_options();
-        let backend = self.inner.backend.read();
-        backend.exec_timed(&prepared, &opts)
+        // Retry with the stats of the *last* attempt: recovery time is the
+        // caller's to observe via wall-clock, not folded into engine
+        // counters from failed attempts.
+        let mut last_stats = ExecStats {
+            counters: Default::default(),
+            wall: Duration::ZERO,
+            simulated_cost: 0.0,
+        };
+        let res = self.with_backend_retry(|b| {
+            let (r, stats) = b.exec_timed(&prepared, &opts);
+            last_stats = stats;
+            r
+        });
+        (res, last_stats)
     }
 
     /// Produce the executable query for an enforcement mechanism without
@@ -824,7 +941,7 @@ impl<B: SqlBackend> SieveService<B> {
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
-    ) -> DbResult<SelectQuery> {
+    ) -> SieveResult<SelectQuery> {
         let (prepared, pins) = self.prepare_pinned(enforcement, query, qm)?;
         if !(pins.handles.is_empty() && pins.fragments.is_empty()) {
             let mut slots = self.inner.baseline_pins.lock();
@@ -843,7 +960,7 @@ impl<B: SqlBackend> SieveService<B> {
         enforcement: Enforcement,
         query: &SelectQuery,
         qm: &QueryMetadata,
-    ) -> DbResult<(SelectQuery, PreparePins)> {
+    ) -> SieveResult<(SelectQuery, PreparePins)> {
         match enforcement {
             Enforcement::Sieve => {
                 let out = self.rewrite(query, qm)?;
@@ -867,11 +984,11 @@ impl<B: SqlBackend> SieveService<B> {
                     classify_protected_refs(query, &protected)
                 };
                 if !nested.is_empty() {
-                    return Err(DbError::Unsupported(format!(
+                    return Err(SieveError::Rewrite(DbError::Unsupported(format!(
                         "baseline {which:?} mediates only top-level FROM references; \
                          protected relation(s) {nested:?} are read through a subquery, \
                          WITH body, or derived table — use Sieve enforcement"
-                    )));
+                    ))));
                 }
                 let mut handles: Vec<PartitionHandle> = Vec::new();
                 let store = self.inner.store.read();
@@ -917,7 +1034,7 @@ impl<B: SqlBackend> SieveService<B> {
         &self,
         qm: &QueryMetadata,
         relation: &str,
-    ) -> DbResult<GuardedExpression> {
+    ) -> SieveResult<GuardedExpression> {
         let (opts, cost) = self.snapshot_config();
         loop {
             let key = self.refresh_entry(qm, relation, &opts, &cost)?;
@@ -933,7 +1050,7 @@ impl<B: SqlBackend> SieveService<B> {
     /// Parse SQL, then [`SieveService::execute`]. Repeat textual queries
     /// reuse the cached AST instead of re-parsing; warm lookups take only
     /// the cache's read lock.
-    pub fn execute_sql(&self, sql: &str, qm: &QueryMetadata) -> DbResult<QueryResult> {
+    pub fn execute_sql(&self, sql: &str, qm: &QueryMetadata) -> SieveResult<QueryResult> {
         // The read-side `get` marks the entry most-recently-used, so a hot
         // query text survives churn of one-shot texts (LRU-on-access, same
         // policy as the guard cache).
@@ -980,7 +1097,7 @@ impl<B: SqlBackend> SieveService<B> {
     pub fn prepare_batch(
         &self,
         requests: &[(QueryMetadata, SelectQuery)],
-    ) -> DbResult<BatchPrepareReport> {
+    ) -> SieveResult<BatchPrepareReport> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -994,7 +1111,7 @@ impl<B: SqlBackend> SieveService<B> {
         &self,
         requests: &[(QueryMetadata, SelectQuery)],
         threads: usize,
-    ) -> DbResult<BatchPrepareReport> {
+    ) -> SieveResult<BatchPrepareReport> {
         let (opts, cost) = self.snapshot_config();
         let groups_map = {
             let protected = self.inner.protected.read();
@@ -1069,11 +1186,24 @@ impl<B: SqlBackend> SieveService<B> {
                                     })
                                 })
                                 .collect();
-                            handles
-                                .into_iter()
-                                .flat_map(|h| h.join().expect("batch worker panicked"))
-                                .collect()
-                        })
+                            // Join every handle before surfacing a panic:
+                            // an unjoined panicked thread would re-raise
+                            // when the scope closes, escaping the typed
+                            // error path.
+                            let mut parts = Vec::with_capacity(handles.len());
+                            let mut panicked = false;
+                            for h in handles {
+                                match h.join() {
+                                    Ok(v) => parts.push(v),
+                                    Err(_) => panicked = true,
+                                }
+                            }
+                            if panicked {
+                                Err(SieveError::Poisoned("prepare_batch worker panicked"))
+                            } else {
+                                Ok(parts.into_iter().flatten().collect())
+                            }
+                        })?
                     };
                 self.inner
                     .generations
@@ -1113,7 +1243,7 @@ impl<B: SqlBackend> SieveService<B> {
     pub fn execute_batch(
         &self,
         requests: &[(QueryMetadata, SelectQuery)],
-    ) -> DbResult<Vec<QueryResult>> {
+    ) -> SieveResult<Vec<QueryResult>> {
         self.prepare_batch(requests)?;
         requests.iter().map(|(qm, q)| self.execute(q, qm)).collect()
     }

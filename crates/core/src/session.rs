@@ -25,7 +25,7 @@ use crate::guard::GuardedExpression;
 use crate::policy::QueryMetadata;
 use crate::rewrite::{GuardFragment, RewriteOutput};
 use crate::service::SieveService;
-use minidb::error::DbResult;
+use crate::error::SieveResult;
 use minidb::plan::SelectQuery;
 use minidb::QueryResult;
 use parking_lot::Mutex;
@@ -65,30 +65,30 @@ impl<B: SqlBackend> Session<B> {
     }
 
     /// Execute a query under SIEVE enforcement as this session's querier.
-    pub fn execute(&self, query: &SelectQuery) -> DbResult<QueryResult> {
+    pub fn execute(&self, query: &SelectQuery) -> SieveResult<QueryResult> {
         self.service.execute(query, &self.qm)
     }
 
     /// Parse SQL, then [`Session::execute`] (shares the service-wide
     /// parsed-AST cache).
-    pub fn execute_sql(&self, sql: &str) -> DbResult<QueryResult> {
+    pub fn execute_sql(&self, sql: &str) -> SieveResult<QueryResult> {
         self.service.execute_sql(sql, &self.qm)
     }
 
     /// Rewrite a query without executing it.
-    pub fn rewrite(&self, query: &SelectQuery) -> DbResult<RewriteOutput> {
+    pub fn rewrite(&self, query: &SelectQuery) -> SieveResult<RewriteOutput> {
         self.service.rewrite(query, &self.qm)
     }
 
     /// The session's guarded expression for a protected relation.
-    pub fn guarded_expression(&self, relation: &str) -> DbResult<GuardedExpression> {
+    pub fn guarded_expression(&self, relation: &str) -> SieveResult<GuardedExpression> {
         self.service.guarded_expression(&self.qm, relation)
     }
 
     /// Prepare a query for repeated execution: rewrite it now, pin the
     /// compiled fragments, and hand back a [`Prepared`] whose `execute`
     /// skips the middleware entirely while the plan stays fresh.
-    pub fn prepare(&self, query: SelectQuery) -> DbResult<Prepared<B>> {
+    pub fn prepare(&self, query: SelectQuery) -> SieveResult<Prepared<B>> {
         let prepared = Prepared {
             service: self.service.clone(),
             qm: self.qm.clone(),
@@ -96,12 +96,12 @@ impl<B: SqlBackend> Session<B> {
             plan: Mutex::new(None),
             reprepares: AtomicU64::new(0),
         };
-        prepared.refresh_plan()?;
+        prepared.refresh_plan(None)?;
         Ok(prepared)
     }
 
     /// Parse SQL and [`Session::prepare`] it.
-    pub fn prepare_sql(&self, sql: &str) -> DbResult<Prepared<B>> {
+    pub fn prepare_sql(&self, sql: &str) -> SieveResult<Prepared<B>> {
         self.prepare(minidb::sql::parse(sql)?)
     }
 }
@@ -176,8 +176,29 @@ impl<B: SqlBackend> Prepared<B> {
         slot.as_ref().and_then(|p| p.statement.as_ref().map(|s| s.id))
     }
 
+    /// True iff the plan's validity stamps still match the service.
+    fn plan_fresh(&self, p: &Plan<B>) -> bool {
+        p.backend_epoch == self.service.backend_epoch()
+            && p.revision == self.service.revision()
+    }
+
     /// Rebuild the plan from the current service state.
-    fn refresh_plan(&self) -> DbResult<Arc<Plan<B>>> {
+    ///
+    /// `observed` is the plan the caller found stale or failing (`None`
+    /// at initial prepare). The plan mutex is held across the whole
+    /// rebuild, making recovery **single-flight**: a storm of threads
+    /// that all observed the same dead plan queue here, the first
+    /// rebuilds, and every later one finds the slot holds a *different*,
+    /// fresh plan and reuses it — one re-prepare total, not one per
+    /// thread.
+    fn refresh_plan(&self, observed: Option<&Arc<Plan<B>>>) -> SieveResult<Arc<Plan<B>>> {
+        let mut slot = self.plan.lock();
+        if let Some(cur) = slot.as_ref() {
+            let replaced = observed.map(|o| !Arc::ptr_eq(o, cur)).unwrap_or(false);
+            if replaced && self.plan_fresh(cur) {
+                return Ok(Arc::clone(cur));
+            }
+        }
         // Stamps are captured *before* the rewrite: if a writer bumps
         // either counter mid-rewrite, the stored plan is already marked
         // stale and the next execute re-prepares — conservative, never
@@ -201,34 +222,50 @@ impl<B: SqlBackend> Prepared<B> {
             backend_epoch,
             revision,
         });
-        let mut slot = self.plan.lock();
         if slot.is_some() {
             self.reprepares.fetch_add(1, Ordering::Relaxed);
+            self.service.note_reprepare();
         }
         *slot = Some(Arc::clone(&plan));
         Ok(plan)
+    }
+
+    /// Dispatch an already-built plan to the backend.
+    fn run_plan(&self, plan: &Plan<B>) -> SieveResult<QueryResult> {
+        match &plan.statement {
+            Some(pin) => self.service.execute_statement(pin.id, &pin.params),
+            None => self.service.exec_prepared(&plan.query),
+        }
     }
 
     /// Execute the statement. While the plan is fresh this is the
     /// middleware's fastest path: one `Arc` clone under a short mutex
     /// (which pins query and ∆ partitions together), then run on the
     /// backend under its shared read lock.
-    pub fn execute(&self) -> DbResult<QueryResult> {
-        let fresh = {
+    ///
+    /// Recovery: if the backend reports that server-side statement state
+    /// was lost ([`crate::SieveError::needs_reprepare`] — a connection
+    /// drop or statement eviction), the plan is rebuilt **once** and the
+    /// query re-run; a second failure surfaces to the caller. Everything
+    /// else fails closed immediately with the typed error.
+    pub fn execute(&self) -> SieveResult<QueryResult> {
+        let (observed, fresh) = {
             let slot = self.plan.lock();
-            slot.as_ref().and_then(|p| {
-                (p.backend_epoch == self.service.backend_epoch()
-                    && p.revision == self.service.revision())
-                .then(|| Arc::clone(p))
-            })
+            match slot.as_ref() {
+                Some(p) => (Some(Arc::clone(p)), self.plan_fresh(p)),
+                None => (None, false),
+            }
         };
-        let plan = match fresh {
-            Some(plan) => plan,
-            None => self.refresh_plan()?,
+        let plan = match (observed, fresh) {
+            (Some(p), true) => p,
+            (observed, _) => self.refresh_plan(observed.as_ref())?,
         };
-        match &plan.statement {
-            Some(pin) => self.service.execute_statement(pin.id, &pin.params),
-            None => self.service.exec_prepared(&plan.query),
+        match self.run_plan(&plan) {
+            Err(e) if e.needs_reprepare() => {
+                let plan = self.refresh_plan(Some(&plan))?;
+                self.run_plan(&plan)
+            }
+            done => done,
         }
     }
 }

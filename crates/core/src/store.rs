@@ -16,6 +16,7 @@ use crate::policy::{
     CondPredicate, ObjectCondition, Policy, PolicyId, QuerierSpec, UserId,
 };
 use minidb::error::{DbError, DbResult};
+use crate::error::SieveResult;
 use minidb::value::{DataType, Value};
 use minidb::{RangeBound, TableSchema};
 use std::collections::{BTreeMap, HashMap};
@@ -85,12 +86,12 @@ impl PolicyStore {
 }
 
 /// Create the five persistence relations on a backend (idempotent).
-pub fn create_policy_tables(db: &mut dyn SqlBackend) -> DbResult<()> {
-    let mk = |db: &mut dyn SqlBackend, schema: TableSchema| -> DbResult<()> {
+pub fn create_policy_tables(db: &mut dyn SqlBackend) -> SieveResult<()> {
+    let mk = |db: &mut dyn SqlBackend, schema: TableSchema| -> SieveResult<()> {
         if db.has_relation(&schema.name) {
             Ok(())
         } else {
-            db.create_relation(schema)
+            Ok(db.create_relation(schema)?)
         }
     };
     mk(
@@ -243,7 +244,7 @@ pub fn persist_policy(
     db: &mut dyn SqlBackend,
     p: &Policy,
     next_oc_id: &mut i64,
-) -> DbResult<()> {
+) -> SieveResult<()> {
     let (qt, q) = match &p.querier {
         QuerierSpec::User(u) => ("user", *u),
         QuerierSpec::Group(g) => ("group", *g),
@@ -368,7 +369,7 @@ pub fn decode_conditions(rows: &[(String, String, String)]) -> DbResult<Vec<Obje
 /// Load all policies back from `rP`/`rOC` (round-trip of
 /// [`persist_policy`]). The owner condition row is recognized and folded
 /// back into the policy's `owner` field.
-pub fn load_policies(db: &dyn SqlBackend) -> DbResult<Vec<Policy>> {
+pub fn load_policies(db: &dyn SqlBackend) -> SieveResult<Vec<Policy>> {
     let rp = db.table_entry(RP_TABLE)?;
     let roc = db.table_entry(ROC_TABLE)?;
     // Group condition rows by policy id.
@@ -427,7 +428,7 @@ pub fn persist_guarded_expression(
     ge: &crate::guard::GuardedExpression,
     outdated: bool,
     ids: &mut GuardTableIds,
-) -> DbResult<i64> {
+) -> SieveResult<i64> {
     ids.next_ge += 1;
     let ge_id = ids.next_ge;
     ids.clock += 1;
