@@ -1,0 +1,262 @@
+//! Remote client for the SIEVE enforcement service.
+//!
+//! Mirrors the in-process handle API ([`sieve_core::Session`] /
+//! [`sieve_core::Prepared`]) over the wire protocol, so the same test or
+//! bench oracle runs unchanged against either: `session.execute_sql(..)`
+//! returns the same `QueryResult` rows whether the session is a library
+//! handle or a [`RemoteSession`] speaking frames to a server.
+//!
+//! A [`RemoteConnection`] owns one byte stream and serializes requests on
+//! it (the protocol is strict request/response). Handles are cheap clones
+//! sharing the connection behind a mutex; concurrency across sessions
+//! comes from opening multiple connections, exactly as it would over TCP.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use minidb::exec::QueryResult;
+use sieve_core::policy::{QueryMetadata, UserId};
+use sieve_protocol::frame::{read_frame, write_frame};
+use sieve_protocol::message::{ClientMessage, ServerMessage, WireStatementId, PROTOCOL_VERSION};
+use sieve_protocol::{ProtocolError, WireError};
+
+/// A blocking byte stream a client can speak the protocol over.
+pub trait Conn: Read + Write + Send + 'static {}
+impl<T: Read + Write + Send + 'static> Conn for T {}
+
+/// Client-side failure: either this end could not speak the protocol, or
+/// the server answered with a typed error frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Local framing/encoding/decoding or I/O failure; the connection is
+    /// no longer usable.
+    Protocol(ProtocolError),
+    /// The server refused or failed the request with a typed wire error;
+    /// the connection remains usable unless the code says otherwise.
+    Remote(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+struct Wire {
+    conn: Box<dyn Conn>,
+}
+
+impl Wire {
+    fn round_trip(&mut self, msg: &ClientMessage) -> ClientResult<ServerMessage> {
+        write_frame(&mut self.conn, &msg.encode())?;
+        let payload = read_frame(&mut self.conn)?;
+        Ok(ServerMessage::decode(&payload)?)
+    }
+}
+
+/// An authenticated connection to a SIEVE server. Created by
+/// [`RemoteConnection::establish`], which runs the handshake
+/// (`Hello`/`HelloAck`) and authentication (`Auth`/`AuthAck`) before
+/// returning. Clone freely; clones share the underlying stream.
+#[derive(Clone)]
+pub struct RemoteConnection {
+    wire: Arc<Mutex<Wire>>,
+    querier: UserId,
+}
+
+impl RemoteConnection {
+    /// Handshake and authenticate over `conn`. Fails closed on version
+    /// mismatch, bad token, or any unexpected reply.
+    pub fn establish(conn: impl Conn, token: &str) -> ClientResult<Self> {
+        let mut wire = Wire { conn: Box::new(conn) };
+        match wire.round_trip(&ClientMessage::Hello { version: PROTOCOL_VERSION })? {
+            ServerMessage::HelloAck { version } if version == PROTOCOL_VERSION => {}
+            ServerMessage::HelloAck { version } => {
+                return Err(ProtocolError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                }
+                .into())
+            }
+            ServerMessage::Error(e) => return Err(ClientError::Remote(e)),
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    expected: "HelloAck",
+                    got: other.name(),
+                }
+                .into())
+            }
+        }
+        let querier = match wire.round_trip(&ClientMessage::Auth { token: token.to_string() })? {
+            ServerMessage::AuthAck { querier } => querier,
+            ServerMessage::Error(e) => return Err(ClientError::Remote(e)),
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    expected: "AuthAck",
+                    got: other.name(),
+                }
+                .into())
+            }
+        };
+        Ok(RemoteConnection { wire: Arc::new(Mutex::new(wire)), querier })
+    }
+
+    /// The querier identity the server authenticated this connection as.
+    pub fn querier(&self) -> UserId {
+        self.querier
+    }
+
+    /// A session over this connection, mirroring
+    /// [`sieve_core::SieveService::session`]. The metadata's querier
+    /// should match [`RemoteConnection::querier`]; the server refuses
+    /// requests where it does not.
+    pub fn session(&self, qm: QueryMetadata) -> RemoteSession {
+        RemoteSession { conn: self.clone(), qm }
+    }
+
+    /// Clean shutdown: `Goodbye`, await the server's `Goodbye`.
+    pub fn close(self) -> ClientResult<()> {
+        let mut wire = self.lock();
+        match wire.round_trip(&ClientMessage::Goodbye)? {
+            ServerMessage::Goodbye => Ok(()),
+            ServerMessage::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "Goodbye",
+                got: other.name(),
+            }
+            .into()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Wire> {
+        self.wire.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn expect_rows(&self, msg: &ClientMessage) -> ClientResult<QueryResult> {
+        let reply = self.lock().round_trip(msg)?;
+        match reply {
+            ServerMessage::Rows(rows) => Ok(rows),
+            ServerMessage::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "Rows",
+                got: other.name(),
+            }
+            .into()),
+        }
+    }
+}
+
+/// A per-querier remote session: metadata captured once, `execute_sql`
+/// and `prepare_sql` shaped exactly like the in-process
+/// [`sieve_core::Session`].
+#[derive(Clone)]
+pub struct RemoteSession {
+    conn: RemoteConnection,
+    qm: QueryMetadata,
+}
+
+impl RemoteSession {
+    /// The metadata this session queries under.
+    pub fn metadata(&self) -> &QueryMetadata {
+        &self.qm
+    }
+
+    /// Execute SQL under SIEVE enforcement as this session's querier.
+    pub fn execute_sql(&self, sql: &str) -> ClientResult<QueryResult> {
+        self.conn.expect_rows(&ClientMessage::Execute {
+            metadata: self.qm.clone(),
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Prepare SQL for repeated execution; the plan lives server-side.
+    pub fn prepare_sql(&self, sql: &str) -> ClientResult<RemotePrepared> {
+        let reply = self.conn.lock().round_trip(&ClientMessage::Prepare {
+            metadata: self.qm.clone(),
+            sql: sql.to_string(),
+        })?;
+        match reply {
+            ServerMessage::Prepared { statement } => Ok(RemotePrepared {
+                conn: self.conn.clone(),
+                statement,
+                closed: false,
+            }),
+            ServerMessage::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "Prepared",
+                got: other.name(),
+            }
+            .into()),
+        }
+    }
+}
+
+/// A remotely prepared statement, mirroring [`sieve_core::Prepared`]:
+/// `execute` re-runs the pinned plan; dropping (or [`RemotePrepared::close`])
+/// releases the server-side handle.
+pub struct RemotePrepared {
+    conn: RemoteConnection,
+    statement: WireStatementId,
+    closed: bool,
+}
+
+impl RemotePrepared {
+    /// The server-issued statement handle (connection-scoped).
+    pub fn statement(&self) -> WireStatementId {
+        self.statement
+    }
+
+    /// Execute the prepared statement.
+    pub fn execute(&self) -> ClientResult<QueryResult> {
+        self.conn
+            .expect_rows(&ClientMessage::ExecutePrepared { statement: self.statement })
+    }
+
+    /// Explicitly release the server-side statement.
+    pub fn close(mut self) -> ClientResult<()> {
+        self.closed = true;
+        let reply = self
+            .conn
+            .lock()
+            .round_trip(&ClientMessage::ClosePrepared { statement: self.statement })?;
+        match reply {
+            ServerMessage::Closed { .. } => Ok(()),
+            ServerMessage::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ProtocolError::UnexpectedMessage {
+                expected: "Closed",
+                got: other.name(),
+            }
+            .into()),
+        }
+    }
+}
+
+impl Drop for RemotePrepared {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Best-effort release; a dead connection already freed the
+            // server side when its handler exited.
+            let _ = self
+                .conn
+                .lock()
+                .round_trip(&ClientMessage::ClosePrepared { statement: self.statement });
+        }
+    }
+}

@@ -187,6 +187,10 @@ pub struct BatchGroupReport {
     pub slice_policies: usize,
     /// Shared candidates built once per group.
     pub shared_candidates: usize,
+    /// Guard partitions whose compilation (inline DNF or ∆ registration)
+    /// was reused from another querier of this group instead of redone —
+    /// the batched-fragment-compilation win.
+    pub partition_reuses: usize,
 }
 
 /// Outcome of [`crate::middleware::Sieve::prepare_batch`].
@@ -198,6 +202,12 @@ pub struct BatchPrepareReport {
     pub generated: usize,
     /// `(querier, purpose, relation)` keys already fresh in the cache.
     pub reused: usize,
+    /// Rewrite fragments compiled alongside the generated expressions
+    /// (one per generated expression — the first post-batch rewrite per
+    /// querier is a pure fragment hit).
+    pub fragments_compiled: usize,
+    /// Sum of [`BatchGroupReport::partition_reuses`] across groups.
+    pub partition_reuses: usize,
 }
 
 #[cfg(test)]

@@ -71,6 +71,10 @@ pub struct GuardCacheStats {
     pub fragment_builds: u64,
     /// Lookups served by an already-compiled fragment.
     pub fragment_hits: u64,
+    /// Generations avoided by single-flight coalescing: lookups that
+    /// found the key mid-generation by another thread, waited, and reused
+    /// the freshly published entry instead of generating their own.
+    pub coalesced: u64,
 }
 
 impl GuardCacheStats {
@@ -174,9 +178,14 @@ struct StatCells {
     evictions: AtomicU64,
     fragment_builds: AtomicU64,
     fragment_hits: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 type Shard = HashMap<GuardCacheKey, CachedGuard>;
+
+/// One batched-insert entry: the key, its generated expression, and
+/// (on the batched-compile path) the pre-built rewrite fragment.
+pub type CompiledEntry = (GuardCacheKey, Arc<GuardedExpression>, Option<CachedFragment>);
 
 /// The cache proper: sharded keyed entries plus counters.
 #[derive(Debug)]
@@ -185,6 +194,11 @@ pub struct GuardCache {
     /// Monotonic access clock feeding the LRU stamps.
     clock: AtomicU64,
     stats: StatCells,
+    /// Keys with a guard generation in flight (single-flight registry).
+    /// A std mutex because generation waiters park on `inflight_cv`,
+    /// which needs the std lock type.
+    inflight: std::sync::Mutex<std::collections::HashSet<GuardCacheKey>>,
+    inflight_cv: std::sync::Condvar,
 }
 
 impl Default for GuardCache {
@@ -193,7 +207,29 @@ impl Default for GuardCache {
             shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
             clock: AtomicU64::new(0),
             stats: StatCells::default(),
+            inflight: std::sync::Mutex::new(std::collections::HashSet::new()),
+            inflight_cv: std::sync::Condvar::new(),
         }
+    }
+}
+
+/// Exclusive claim on generating one guard key, handed out by
+/// [`GuardCache::begin_generation`]. Dropping the ticket (normally, on
+/// error, or on unwind) releases the claim and wakes every waiter.
+pub struct GenerationTicket<'a> {
+    cache: &'a GuardCache,
+    key: GuardCacheKey,
+}
+
+impl Drop for GenerationTicket<'_> {
+    fn drop(&mut self) {
+        let mut set = self
+            .cache
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set.remove(&self.key);
+        self.cache.inflight_cv.notify_all();
     }
 }
 
@@ -238,7 +274,37 @@ impl GuardCache {
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             fragment_builds: self.stats.fragment_builds.load(Ordering::Relaxed),
             fragment_hits: self.stats.fragment_hits.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
         }
+    }
+
+    /// Claim the exclusive right to generate `key`, blocking while another
+    /// thread holds the claim. This is the **single-flight** guard against
+    /// the cold-key stampede: N sessions missing the same `(querier,
+    /// purpose, relation)` serialize here, the first generates, and the
+    /// rest — woken when its [`GenerationTicket`] drops — re-check the
+    /// cache and find the published entry instead of generating N-1
+    /// duplicates. Callers must re-validate need-to-generate after the
+    /// claim is granted.
+    pub fn begin_generation(&self, key: &GuardCacheKey) -> GenerationTicket<'_> {
+        let mut set = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while set.contains(key) {
+            set = self
+                .inflight_cv
+                .wait(set)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        set.insert(key.clone());
+        GenerationTicket {
+            cache: self,
+            key: key.clone(),
+        }
+    }
+
+    /// Count a generation avoided by single-flight coalescing (the caller
+    /// waited on [`GuardCache::begin_generation`] and found the key fresh).
+    pub fn record_coalesced(&self) {
+        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Run `f` over the entry for `key` under the shard's **read** lock
@@ -290,36 +356,54 @@ impl GuardCache {
         items: Vec<(GuardCacheKey, Arc<GuardedExpression>)>,
         epoch: u64,
     ) {
+        self.insert_generated_bulk_compiled(
+            items.into_iter().map(|(k, b)| (k, b, None)).collect(),
+            epoch,
+        )
+    }
+
+    /// [`GuardCache::insert_generated_bulk`] with each entry's rewrite
+    /// fragment already compiled (the batched compile path: fragments are
+    /// built group-at-a-time with cross-querier partition sharing, then
+    /// land here alongside their expressions so the first post-batch
+    /// rewrite is a pure fragment hit). Each supplied fragment counts as
+    /// one `fragment_builds` — identical accounting to the lazy path.
+    pub fn insert_generated_bulk_compiled(&self, items: Vec<CompiledEntry>, epoch: u64) {
         // Dedup repeated keys (last write wins, as serial inserts would)
         // so each key is counted once.
         let mut index: HashMap<GuardCacheKey, usize> = HashMap::new();
-        let mut deduped: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
-        for (key, base) in items {
+        let mut deduped: Vec<CompiledEntry> = Vec::new();
+        for (key, base, fragment) in items {
             match index.entry(key.clone()) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     deduped[*e.get()].1 = base;
+                    deduped[*e.get()].2 = fragment;
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(deduped.len());
-                    deduped.push((key, base));
+                    deduped.push((key, base, fragment));
                 }
             }
         }
         // Group by shard so each shard is locked exactly once.
-        let mut by_shard: HashMap<usize, Vec<(GuardCacheKey, Arc<GuardedExpression>)>> =
-            HashMap::new();
-        for (key, base) in deduped {
+        let mut by_shard: HashMap<usize, Vec<CompiledEntry>> = HashMap::new();
+        for (key, base, fragment) in deduped {
             by_shard
                 .entry(Self::shard_index(&key))
                 .or_default()
-                .push((key, base));
+                .push((key, base, fragment));
         }
         for (shard_idx, batch) in by_shard {
             let mut shard = self.shards[shard_idx].write();
-            let batch_keys: Vec<GuardCacheKey> = batch.iter().map(|(k, _)| k.clone()).collect();
-            for (key, base) in batch {
+            let batch_keys: Vec<GuardCacheKey> =
+                batch.iter().map(|(k, _, _)| k.clone()).collect();
+            for (key, base, fragment) in batch {
                 let mut entry = CachedGuard::new(base, epoch);
                 entry.last_used = AtomicU64::new(self.tick());
+                if fragment.is_some() {
+                    entry.fragment = fragment;
+                    self.stats.fragment_builds.fetch_add(1, Ordering::Relaxed);
+                }
                 let replaced = shard.insert(key, entry).is_some();
                 if replaced {
                     self.stats.regenerations.fetch_add(1, Ordering::Relaxed);

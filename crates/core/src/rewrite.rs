@@ -158,6 +158,22 @@ pub struct CompiledRelation {
     pub fragment: Arc<GuardFragment>,
 }
 
+/// Cross-querier memo for batched fragment compilation. Guard partitions
+/// are sets of policies, and across the queriers of one
+/// `prepare_batch` group the same partition recurs constantly (every
+/// member of a group grant gets an identical branch). Keyed by the sorted
+/// policy-id set, the memo compiles each **distinct** partition once —
+/// inline DNF construction or ∆ registration — and later queriers clone
+/// the compiled expression (and share the ∆ partition through another
+/// RAII handle) instead of redoing the work.
+#[derive(Debug, Default)]
+pub struct FragmentCompileCache {
+    partitions: HashMap<Vec<PolicyId>, (Expr, Option<PartitionHandle>)>,
+    /// Partition compilations skipped because an identical policy set was
+    /// already compiled in this batch group (observability).
+    pub reuses: usize,
+}
+
 /// Compile a guarded expression into a reusable rewrite fragment: build
 /// each guard's partition expression (inlining the policy DNF or
 /// registering a ∆ partition per the cost model) exactly once.
@@ -169,12 +185,50 @@ pub fn compile_guard_fragment(
     cost: &CostModel,
     delta_mode: DeltaMode,
 ) -> SieveResult<GuardFragment> {
+    compile_guard_fragment_memo(
+        backend,
+        delta,
+        ge,
+        by_id,
+        cost,
+        delta_mode,
+        &mut FragmentCompileCache::default(),
+    )
+}
+
+/// [`compile_guard_fragment`] with a [`FragmentCompileCache`] shared
+/// across the queriers of a batch group: each distinct partition policy
+/// set compiles once per group instead of once per querier.
+pub fn compile_guard_fragment_memo(
+    backend: &dyn SqlBackend,
+    delta: &Arc<DeltaRegistry>,
+    ge: &GuardedExpression,
+    by_id: &HashMap<PolicyId, &Policy>,
+    cost: &CostModel,
+    delta_mode: DeltaMode,
+    memo: &mut FragmentCompileCache,
+) -> SieveResult<GuardFragment> {
     let entry = backend.table_entry(&ge.relation)?;
     let schema = entry.schema();
     let mut branches = Vec::with_capacity(ge.guards.len());
     let mut partitions = Vec::new();
     let mut delta_guards = 0usize;
     for g in &ge.guards {
+        let mut memo_key: Vec<PolicyId> = g.policies.clone();
+        memo_key.sort_unstable();
+        memo_key.dedup();
+        if let Some((expr, handle)) = memo.partitions.get(&memo_key) {
+            memo.reuses += 1;
+            if let Some(h) = handle {
+                delta_guards += 1;
+                partitions.push(h.clone());
+            }
+            branches.push(CompiledBranch {
+                condition: g.condition.to_expr(),
+                partition: expr.clone(),
+            });
+            continue;
+        }
         let partition_policies: Vec<&Policy> = g
             .policies
             .iter()
@@ -193,15 +247,20 @@ pub fn compile_guard_fragment(
                 DeltaMode::Always => true,
                 DeltaMode::Auto => cost.prefer_delta(partition_policies.len(), distinct_owners),
             };
-        let partition = if use_delta {
+        let (partition, shared_handle) = if use_delta {
             delta_guards += 1;
             let handle = delta.register_partition(schema, &partition_policies)?;
             let expr = delta_call_expr(handle.key(), schema);
-            partitions.push(handle);
-            expr
+            partitions.push(handle.clone());
+            (expr, Some(handle))
         } else {
-            Expr::any(partition_policies.iter().map(|p| p.to_expr()).collect())
+            (
+                Expr::any(partition_policies.iter().map(|p| p.to_expr()).collect()),
+                None,
+            )
         };
+        memo.partitions
+            .insert(memo_key, (partition.clone(), shared_handle));
         branches.push(CompiledBranch {
             condition: g.condition.to_expr(),
             partition,

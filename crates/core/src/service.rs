@@ -28,10 +28,21 @@
 //!   ([`crate::delta::PartitionHandle`]) so invalidation can never free a
 //!   partition a concurrent query still references.
 //!
-//! Lock order (outer → inner): `store → groups → cost/options →
-//! protected → backend → cache shard → sql cache`, with the persist
-//! state, baseline pins and the ∆ registry as leaves. Cache closures
-//! never take other locks.
+//! Lock order (outer → inner): `single-flight generation claim → store →
+//! groups → cost/options → protected → backend → cache shard → sql
+//! cache`, with the persist state, baseline pins and the ∆ registry as
+//! leaves. Cache closures never take other locks.
+//!
+//! # Single-flight generation
+//!
+//! A cold `(querier, purpose, relation)` key hit by N sessions at once
+//! used to trigger N identical generations (each held the store *read*
+//! lock, so nothing serialized them). Generation is now **single-flight**:
+//! the first thread claims the key via
+//! [`GuardCache::begin_generation`], the rest park until the claim drops,
+//! re-check the cache, and reuse the published entry — exactly one
+//! generation per cold key, with the avoided duplicates counted in
+//! [`GuardCacheStats::coalesced`].
 //!
 //! # Consistency under concurrent `add_policy`
 //!
@@ -68,8 +79,9 @@ use crate::guard::{
 use crate::middleware::{Enforcement, SieveOptions};
 use crate::policy::{Policy, PolicyId, QueryMetadata};
 use crate::rewrite::{
-    classify_protected_refs, collect_protected, compile_guard_fragment, rewrite_query,
-    CompiledRelation, RewriteOutput,
+    classify_protected_refs, collect_protected, compile_guard_fragment,
+    compile_guard_fragment_memo, rewrite_query, CompiledRelation, FragmentCompileCache,
+    RewriteOutput,
 };
 use crate::error::{SieveError, SieveResult};
 use crate::store::{
@@ -540,16 +552,23 @@ impl<B: SqlBackend> SieveService<B> {
                     return Ok(key);
                 }
                 Need::Generate => {
+                    // Single-flight (the cold-key stampede fix): claim the
+                    // key before doing any generation work. Losers of the
+                    // race park inside `begin_generation` until the
+                    // winner's ticket drops — one generation per cold key,
+                    // not one per session.
+                    let _ticket = self.inner.cache.begin_generation(&key);
+                    if !self.needs_generation(&key, opts, cost) {
+                        // Another thread generated while we waited for the
+                        // claim; loop back to take the warm path.
+                        self.inner.cache.record_coalesced();
+                        continue;
+                    }
                     // Hold the store read lock across generation AND the
                     // cache publish — the consistency argument with
                     // `add_policy` (module docs) depends on it.
                     let store = self.inner.store.read();
                     let groups = self.inner.groups.read();
-                    // Double-check under the store lock: another thread
-                    // may have generated while we waited.
-                    if !self.needs_generation(&key, opts, cost) {
-                        continue;
-                    }
                     let epoch = self.inner.backend_epoch.load(Ordering::SeqCst);
                     let expr = {
                         let backend = self.inner.backend.read();
@@ -1118,14 +1137,17 @@ impl<B: SqlBackend> SieveService<B> {
             crate::batch::group_requests(requests, &protected)
         };
         let mut report = BatchPrepareReport::default();
-        let mut to_insert: Vec<(GuardCacheKey, Arc<GuardedExpression>)> = Vec::new();
+        let mut to_insert: Vec<(GuardCacheKey, Arc<GuardedExpression>, Option<CachedFragment>)> =
+            Vec::new();
         // Hold the store lock across generation and publish, as the
         // single-key path does (see module docs).
         let store = self.inner.store.read();
         let groups = self.inner.groups.read();
         let epoch = self.inner.backend_epoch.load(Ordering::SeqCst);
+        let mode = opts.rewrite.delta_mode;
         {
             let backend = self.inner.backend.read();
+            let by_id = store.by_id();
             for ((purpose, relation), qms) in groups_map {
                 let pending: Vec<&QueryMetadata> = qms
                     .iter()
@@ -1208,13 +1230,36 @@ impl<B: SqlBackend> SieveService<B> {
                 self.inner
                     .generations
                     .fetch_add(exprs.len() as u64, Ordering::Relaxed);
+                // Compile each generated expression's rewrite fragment
+                // here too, sharing partition compilations (inline DNFs
+                // and ∆ registrations) across the group's queriers via the
+                // memo — fragment compilation is batched per group, not
+                // redone per querier on the first post-batch rewrite.
+                let mut memo = FragmentCompileCache::default();
                 for (qm, expr) in pending.iter().zip(exprs) {
+                    let expr = Arc::new(expr);
+                    let fragment = compile_guard_fragment_memo(
+                        &*backend,
+                        &self.inner.delta,
+                        &expr,
+                        &by_id,
+                        &cost,
+                        mode,
+                        &mut memo,
+                    )?;
                     to_insert.push((
                         (qm.querier, purpose.clone(), relation.clone()),
-                        Arc::new(expr),
+                        expr,
+                        Some(CachedFragment {
+                            fragment: Arc::new(fragment),
+                            pending_len: 0,
+                            delta_mode: mode,
+                        }),
                     ));
                 }
                 report.generated += pending.len();
+                report.fragments_compiled += pending.len();
+                report.partition_reuses += memo.reuses;
                 report.groups.push(BatchGroupReport {
                     purpose: purpose.clone(),
                     relation: relation.clone(),
@@ -1222,17 +1267,20 @@ impl<B: SqlBackend> SieveService<B> {
                     generated: pending.len(),
                     slice_policies: group.slice_len,
                     shared_candidates: group.shared_candidates(),
+                    partition_reuses: memo.reuses,
                 });
             }
         }
         if opts.persist {
             let mut backend = self.inner.backend.write();
             let mut persist = self.inner.persist.lock();
-            for (_, expr) in &to_insert {
+            for (_, expr, _) in &to_insert {
                 persist_guarded_expression(&mut *backend, expr, false, &mut persist.guard_ids)?;
             }
         }
-        self.inner.cache.insert_generated_bulk(to_insert, epoch);
+        self.inner
+            .cache
+            .insert_generated_bulk_compiled(to_insert, epoch);
         Ok(report)
     }
 

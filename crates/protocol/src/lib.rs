@@ -1,0 +1,34 @@
+//! Wire protocol for the SIEVE enforcement service.
+//!
+//! This crate is the shared language between `sieve-server` and
+//! `sieve-client`: framing, message types, value serialization, and the
+//! wire error taxonomy. It deliberately knows nothing about transports or
+//! sessions — both sides speak through any `io::Read + io::Write` pair.
+//!
+//! Layering (bottom up):
+//!
+//! - [`frame`] — `u32` length-prefixed frames with a hard size cap;
+//!   oversized or truncated frames are rejected before allocation.
+//! - [`codec`] — fail-closed binary encoding of primitives, `Value`,
+//!   `QueryMetadata`, and `QueryResult` through a bounded cursor.
+//! - [`message`] — versioned [`ClientMessage`]/[`ServerMessage`] enums
+//!   with tag-based encode/decode covering handshake, auth, execute,
+//!   prepare, execute-prepared, close, and error flows.
+//! - [`error`] — [`ProtocolError`] for local encode/decode failures and
+//!   the typed [`ErrorCode`]/[`WireError`] taxonomy the server maps
+//!   `SieveError` onto.
+//!
+//! Everything decodes fail-closed: unknown tags, truncated payloads,
+//! trailing bytes, bad UTF-8, and out-of-range lengths are all hard
+//! errors. A malformed frame never produces a partial message.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod message;
+
+pub use error::{ErrorCode, ProtocolError, ProtocolResult, WireError};
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use message::{ClientMessage, ServerMessage, WireStatementId, PROTOCOL_VERSION};

@@ -1,0 +1,288 @@
+//! Versioned protocol messages and their tag-based encoding.
+//!
+//! Each message encodes as one frame payload: a tag byte followed by the
+//! message's fields via the [`crate::codec`] primitives. Decoders consume
+//! the whole payload ([`crate::codec::Reader::finish`]) so a frame either
+//! yields exactly one message or an error — never a message plus ignored
+//! bytes.
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//! client                          server
+//!   Hello { version }     ─▶
+//!                         ◀─     HelloAck { version }
+//!   Auth { token }        ─▶
+//!                         ◀─     AuthAck { querier } | Error(AuthFailed)
+//!   Execute / Prepare /   ─▶
+//!   ExecutePrepared /
+//!   ClosePrepared ...
+//!                         ◀─     Rows | Prepared | Closed | Error
+//!   Goodbye               ─▶
+//!                         ◀─     Goodbye
+//! ```
+
+use minidb::exec::QueryResult;
+use sieve_core::policy::QueryMetadata;
+
+use crate::codec::{
+    read_metadata, read_result, write_metadata, write_result, Reader, Writer,
+};
+use crate::error::{ErrorCode, ProtocolError, ProtocolResult, WireError};
+
+/// Protocol version this implementation speaks. Negotiated in the
+/// `Hello`/`HelloAck` handshake; both sides must match exactly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Server-issued prepared-statement handle. Scoped to one connection;
+/// meaningless on any other.
+pub type WireStatementId = u64;
+
+// Client message tags — wire format, do not renumber.
+const CM_HELLO: u8 = 1;
+const CM_AUTH: u8 = 2;
+const CM_EXECUTE: u8 = 3;
+const CM_PREPARE: u8 = 4;
+const CM_EXECUTE_PREPARED: u8 = 5;
+const CM_CLOSE_PREPARED: u8 = 6;
+const CM_GOODBYE: u8 = 7;
+
+// Server message tags — wire format, do not renumber.
+const SM_HELLO_ACK: u8 = 1;
+const SM_AUTH_ACK: u8 = 2;
+const SM_ROWS: u8 = 3;
+const SM_PREPARED: u8 = 4;
+const SM_CLOSED: u8 = 5;
+const SM_ERROR: u8 = 6;
+const SM_GOODBYE: u8 = 7;
+
+/// Messages the client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMessage {
+    /// Opens the conversation; carries the client's protocol version.
+    Hello {
+        /// Version the client speaks.
+        version: u32,
+    },
+    /// Presents an auth token binding this connection to one querier.
+    Auth {
+        /// Opaque bearer token.
+        token: String,
+    },
+    /// One-shot guarded query.
+    Execute {
+        /// Querier identity + purpose + context. The querier must match
+        /// the session's authenticated identity or the server rejects.
+        metadata: QueryMetadata,
+        /// Baseline SQL text.
+        sql: String,
+    },
+    /// Prepare a guarded query for repeated execution.
+    Prepare {
+        /// Querier identity + purpose + context.
+        metadata: QueryMetadata,
+        /// Baseline SQL text.
+        sql: String,
+    },
+    /// Execute a previously prepared statement.
+    ExecutePrepared {
+        /// Handle from a `Prepared` response.
+        statement: WireStatementId,
+    },
+    /// Release a prepared statement's server-side resources.
+    ClosePrepared {
+        /// Handle from a `Prepared` response.
+        statement: WireStatementId,
+    },
+    /// Clean shutdown of the connection.
+    Goodbye,
+}
+
+impl ClientMessage {
+    /// Short name for diagnostics and `UnexpectedMessage` errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClientMessage::Hello { .. } => "Hello",
+            ClientMessage::Auth { .. } => "Auth",
+            ClientMessage::Execute { .. } => "Execute",
+            ClientMessage::Prepare { .. } => "Prepare",
+            ClientMessage::ExecutePrepared { .. } => "ExecutePrepared",
+            ClientMessage::ClosePrepared { .. } => "ClosePrepared",
+            ClientMessage::Goodbye => "Goodbye",
+        }
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ClientMessage::Hello { version } => {
+                w.u8(CM_HELLO);
+                w.u32(*version);
+            }
+            ClientMessage::Auth { token } => {
+                w.u8(CM_AUTH);
+                w.string(token);
+            }
+            ClientMessage::Execute { metadata, sql } => {
+                w.u8(CM_EXECUTE);
+                write_metadata(&mut w, metadata);
+                w.string(sql);
+            }
+            ClientMessage::Prepare { metadata, sql } => {
+                w.u8(CM_PREPARE);
+                write_metadata(&mut w, metadata);
+                w.string(sql);
+            }
+            ClientMessage::ExecutePrepared { statement } => {
+                w.u8(CM_EXECUTE_PREPARED);
+                w.u64(*statement);
+            }
+            ClientMessage::ClosePrepared { statement } => {
+                w.u8(CM_CLOSE_PREPARED);
+                w.u64(*statement);
+            }
+            ClientMessage::Goodbye => w.u8(CM_GOODBYE),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload, rejecting unknown tags and trailing bytes.
+    pub fn decode(payload: &[u8]) -> ProtocolResult<Self> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8("client message tag")?;
+        let msg = match tag {
+            CM_HELLO => ClientMessage::Hello { version: r.u32("hello version")? },
+            CM_AUTH => ClientMessage::Auth { token: r.string("auth token")? },
+            CM_EXECUTE => ClientMessage::Execute {
+                metadata: read_metadata(&mut r)?,
+                sql: r.string("execute sql")?,
+            },
+            CM_PREPARE => ClientMessage::Prepare {
+                metadata: read_metadata(&mut r)?,
+                sql: r.string("prepare sql")?,
+            },
+            CM_EXECUTE_PREPARED => {
+                ClientMessage::ExecutePrepared { statement: r.u64("statement id")? }
+            }
+            CM_CLOSE_PREPARED => {
+                ClientMessage::ClosePrepared { statement: r.u64("statement id")? }
+            }
+            CM_GOODBYE => ClientMessage::Goodbye,
+            other => {
+                return Err(ProtocolError::UnknownTag { context: "client message", tag: other })
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Messages the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMessage {
+    /// Accepts the handshake; carries the server's protocol version.
+    HelloAck {
+        /// Version the server speaks.
+        version: u32,
+    },
+    /// Authentication succeeded; the connection is bound to `querier`.
+    AuthAck {
+        /// The querier identity the token resolved to.
+        querier: i64,
+    },
+    /// Result rows for `Execute` or `ExecutePrepared`.
+    Rows(QueryResult),
+    /// A statement was prepared; `statement` names it on this connection.
+    Prepared {
+        /// Connection-scoped statement handle.
+        statement: WireStatementId,
+    },
+    /// A `ClosePrepared` completed.
+    Closed {
+        /// The handle that was released.
+        statement: WireStatementId,
+    },
+    /// The request failed; the connection stays usable unless the code is
+    /// [`ErrorCode::Protocol`].
+    Error(WireError),
+    /// Acknowledges a client `Goodbye`; the server closes after sending.
+    Goodbye,
+}
+
+impl ServerMessage {
+    /// Short name for diagnostics and `UnexpectedMessage` errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerMessage::HelloAck { .. } => "HelloAck",
+            ServerMessage::AuthAck { .. } => "AuthAck",
+            ServerMessage::Rows(_) => "Rows",
+            ServerMessage::Prepared { .. } => "Prepared",
+            ServerMessage::Closed { .. } => "Closed",
+            ServerMessage::Error(_) => "Error",
+            ServerMessage::Goodbye => "Goodbye",
+        }
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ServerMessage::HelloAck { version } => {
+                w.u8(SM_HELLO_ACK);
+                w.u32(*version);
+            }
+            ServerMessage::AuthAck { querier } => {
+                w.u8(SM_AUTH_ACK);
+                w.i64(*querier);
+            }
+            ServerMessage::Rows(res) => {
+                w.u8(SM_ROWS);
+                write_result(&mut w, res);
+            }
+            ServerMessage::Prepared { statement } => {
+                w.u8(SM_PREPARED);
+                w.u64(*statement);
+            }
+            ServerMessage::Closed { statement } => {
+                w.u8(SM_CLOSED);
+                w.u64(*statement);
+            }
+            ServerMessage::Error(err) => {
+                w.u8(SM_ERROR);
+                w.u8(err.code as u8);
+                w.string(&err.message);
+            }
+            ServerMessage::Goodbye => w.u8(SM_GOODBYE),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload, rejecting unknown tags and trailing bytes.
+    pub fn decode(payload: &[u8]) -> ProtocolResult<Self> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8("server message tag")?;
+        let msg = match tag {
+            SM_HELLO_ACK => ServerMessage::HelloAck { version: r.u32("hello-ack version")? },
+            SM_AUTH_ACK => ServerMessage::AuthAck { querier: r.i64("auth-ack querier")? },
+            SM_ROWS => ServerMessage::Rows(read_result(&mut r)?),
+            SM_PREPARED => ServerMessage::Prepared { statement: r.u64("statement id")? },
+            SM_CLOSED => ServerMessage::Closed { statement: r.u64("statement id")? },
+            SM_ERROR => {
+                let code_byte = r.u8("error code")?;
+                let code = ErrorCode::from_u8(code_byte).ok_or(ProtocolError::UnknownTag {
+                    context: "error code",
+                    tag: code_byte,
+                })?;
+                let message = r.string("error message")?;
+                ServerMessage::Error(WireError { code, message })
+            }
+            SM_GOODBYE => ServerMessage::Goodbye,
+            other => {
+                return Err(ProtocolError::UnknownTag { context: "server message", tag: other })
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}

@@ -1,0 +1,51 @@
+//! Connection authentication: token → querier identity.
+//!
+//! Every connection must authenticate before any query flows; the
+//! resolved [`UserId`] is pinned to the connection and every subsequent
+//! request's embedded metadata is checked against it (fail closed — a
+//! mismatch is rejected with a typed error, never silently executed under
+//! either identity).
+
+use std::collections::HashMap;
+
+use sieve_core::policy::UserId;
+
+/// Maps bearer tokens to querier identities. Implementations must be
+/// cheap and thread-safe: the server calls this once per connection from
+/// per-connection threads.
+pub trait Authenticator: Send + Sync + 'static {
+    /// Resolve a token; `None` rejects the connection.
+    fn authenticate(&self, token: &str) -> Option<UserId>;
+}
+
+/// Static token table: the obvious in-process authenticator for tests,
+/// benches, and single-tenant deployments.
+#[derive(Default)]
+pub struct TokenAuthenticator {
+    tokens: HashMap<String, UserId>,
+}
+
+impl TokenAuthenticator {
+    /// Empty table (rejects everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `token` as authenticating `querier`.
+    pub fn insert(&mut self, token: impl Into<String>, querier: UserId) -> &mut Self {
+        self.tokens.insert(token.into(), querier);
+        self
+    }
+
+    /// Builder-style [`TokenAuthenticator::insert`].
+    pub fn with(mut self, token: impl Into<String>, querier: UserId) -> Self {
+        self.tokens.insert(token.into(), querier);
+        self
+    }
+}
+
+impl Authenticator for TokenAuthenticator {
+    fn authenticate(&self, token: &str) -> Option<UserId> {
+        self.tokens.get(token).copied()
+    }
+}

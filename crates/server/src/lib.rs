@@ -1,0 +1,24 @@
+//! Wire server fronting the SIEVE enforcement service.
+//!
+//! Layering: [`crate::transport`] produces byte streams, the protocol
+//! crate frames and types the messages, and [`crate::server`] runs the
+//! per-connection state machine that maps authenticated requests onto
+//! `sieve-core`'s `Session`/`Prepared` handles. The server never trusts a
+//! request's embedded identity: each connection authenticates once
+//! (token → querier) and every metadata-carrying frame is checked against
+//! that pinned identity, failing closed on disagreement.
+//!
+//! The shipped transport is an in-process loopback (byte pipes behind the
+//! same `Listener` trait a TCP implementation would use), which lets the
+//! full client → frames → server → service path run in tests and benches
+//! without sockets.
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod server;
+pub mod transport;
+
+pub use auth::{Authenticator, TokenAuthenticator};
+pub use server::{ServerHandle, ServerStats, SieveServer};
+pub use transport::{loopback, loopback_pair, Listener, LoopbackConn, LoopbackConnector, LoopbackListener};

@@ -1,0 +1,215 @@
+//! Transport abstraction and the in-process loopback implementation.
+//!
+//! The server is transport-generic: it accepts anything implementing
+//! [`Listener`], whose connections are plain blocking byte streams
+//! (`Read + Write`). This PR ships one transport — an in-process
+//! **loopback** built on byte pipes — so client, protocol, and server can
+//! be exercised end-to-end without sockets; a TCP listener slots in later
+//! by implementing the same two traits over `TcpListener`/`TcpStream`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A server-side connection source. `accept` blocks until a client
+/// connects and returns `None` when the transport shuts down (all
+/// connectors dropped), at which point the accept loop exits cleanly.
+pub trait Listener: Send + 'static {
+    /// The byte stream this transport produces.
+    type Conn: Read + Write + Send + 'static;
+
+    /// Block for the next inbound connection; `None` means shutdown.
+    fn accept(&self) -> Option<Self::Conn>;
+}
+
+/// One direction of a loopback connection: a bounded-latency,
+/// unbounded-capacity in-memory byte queue. Frames are written whole and
+/// consumed promptly by the request/response discipline, so the queue
+/// stays shallow in practice.
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    /// Writer end dropped: reader drains the buffer, then sees EOF.
+    write_closed: bool,
+    /// Reader end dropped: further writes fail with `BrokenPipe`.
+    read_closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                write_closed: false,
+                read_closed: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.lock();
+        while st.buf.is_empty() {
+            if st.write_closed {
+                return Ok(0);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let n = st.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = st.buf.pop_front().unwrap_or_default();
+        }
+        Ok(n)
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.lock();
+        if st.read_closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        st.buf.extend(data.iter().copied());
+        self.cv.notify_all();
+        Ok(data.len())
+    }
+
+    fn close_write(&self) {
+        self.lock().write_closed = true;
+        self.cv.notify_all();
+    }
+
+    fn close_read(&self) {
+        self.lock().read_closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of an in-process duplex byte stream. Dropping an end delivers
+/// EOF to the peer's reads and `BrokenPipe` to its writes.
+pub struct LoopbackConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl Read for LoopbackConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for LoopbackConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        self.tx.close_write();
+        self.rx.close_read();
+    }
+}
+
+/// Build one duplex loopback connection: two ends, each reading what the
+/// other writes. Usable standalone (tests can speak raw protocol).
+pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    (
+        LoopbackConn { rx: Arc::clone(&b_to_a), tx: Arc::clone(&a_to_b) },
+        LoopbackConn { rx: a_to_b, tx: b_to_a },
+    )
+}
+
+/// The client-side handle of a loopback transport: `connect` yields the
+/// client end of a fresh duplex stream whose server end is queued for the
+/// listener. Clone freely; the listener shuts down when the last clone
+/// drops.
+#[derive(Clone)]
+pub struct LoopbackConnector {
+    queue: Sender<LoopbackConn>,
+}
+
+impl LoopbackConnector {
+    /// Open a new connection to the paired [`LoopbackListener`]. Fails
+    /// when the listener is gone.
+    pub fn connect(&self) -> io::Result<LoopbackConn> {
+        let (client, server) = loopback_pair();
+        self.queue
+            .send(server)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener gone"))?;
+        Ok(client)
+    }
+}
+
+/// The server-side handle of a loopback transport.
+pub struct LoopbackListener {
+    queue: Receiver<LoopbackConn>,
+}
+
+impl Listener for LoopbackListener {
+    type Conn = LoopbackConn;
+
+    fn accept(&self) -> Option<LoopbackConn> {
+        self.queue.recv().ok()
+    }
+}
+
+/// Build a loopback transport: the listener side for the server's accept
+/// loop and a connector clients dial through.
+pub fn loopback() -> (LoopbackListener, LoopbackConnector) {
+    let (tx, rx) = channel();
+    (LoopbackListener { queue: rx }, LoopbackConnector { queue: tx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_round_trip_and_eof() {
+        let (mut a, mut b) = loopback_pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_after_peer_drop_is_broken_pipe() {
+        let (mut a, b) = loopback_pair();
+        drop(b);
+        let err = a.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn connector_queues_connections() {
+        let (listener, connector) = loopback();
+        let mut client = connector.connect().unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(connector);
+        assert!(listener.accept().is_none());
+    }
+}

@@ -4,10 +4,18 @@
 //!
 //! * [`minidb`] — the embedded relational engine substrate;
 //! * [`core`] (`sieve-core`) — the SIEVE middleware itself;
+//! * [`protocol`] (`sieve-protocol`) — the wire protocol: framing,
+//!   versioned messages, fail-closed decode;
+//! * [`server`] (`sieve-server`) — the wire server fronting a service;
+//! * [`client`] (`sieve-client`) — remote `Session`/`Prepared` handles
+//!   mirroring the in-process API;
 //! * [`workload`] (`sieve-workload`) — dataset/policy/query generators.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
 pub use minidb;
+pub use sieve_client as client;
 pub use sieve_core as core;
+pub use sieve_protocol as protocol;
+pub use sieve_server as server;
 pub use sieve_workload as workload;

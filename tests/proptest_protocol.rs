@@ -1,0 +1,216 @@
+//! Wire-protocol fidelity: every frame a peer can legally send must
+//! round-trip encode→decode *exactly*, and everything else — truncated
+//! payloads, trailing bytes, unknown tags, oversized frames — must be
+//! rejected, never partially decoded. The server and client stand on
+//! this: a lossy or lenient codec would let enforcement decisions drift
+//! between the in-process and remote paths.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sieve::minidb::{QueryResult, Value};
+use sieve::protocol::codec::{read_result, write_result, Reader, Writer};
+use sieve::protocol::error::ErrorCode;
+use sieve::protocol::frame::{read_frame, write_frame, MAX_FRAME_LEN};
+use sieve::protocol::{ClientMessage, ProtocolError, ServerMessage, WireError, PROTOCOL_VERSION};
+use sieve::core::policy::QueryMetadata;
+
+// ------------------------------------------------------------ strategies
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9_ ]{0,12}".prop_map(Value::str),
+        (0u32..86_400).prop_map(Value::Time),
+        any::<i32>().prop_map(Value::Date),
+        // Finite doubles only: NaN breaks `PartialEq`-based round-trip
+        // comparison, not the codec (bit patterns always survive).
+        any::<i64>().prop_map(|i| Value::Double(i as f64 / 256.0)),
+    ]
+}
+
+fn arb_metadata() -> impl Strategy<Value = QueryMetadata> {
+    (
+        any::<i64>(),
+        "[a-zA-Z]{0,10}",
+        vec(("[a-z_]{1,8}", arb_value()), 0..4),
+    )
+        .prop_map(|(querier, purpose, context)| QueryMetadata {
+            querier,
+            purpose,
+            context,
+        })
+}
+
+fn arb_result() -> impl Strategy<Value = QueryResult> {
+    (
+        vec("[a-z_]{1,10}", 0..5),
+        vec(vec(arb_value(), 0..5), 0..6),
+    )
+        .prop_map(|(columns, rows)| QueryResult { columns, rows })
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    (0usize..ErrorCode::ALL.len()).prop_map(|i| ErrorCode::ALL[i])
+}
+
+fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
+    prop_oneof![
+        any::<u32>().prop_map(|version| ClientMessage::Hello { version }),
+        "[a-zA-Z0-9]{0,16}".prop_map(|token| ClientMessage::Auth { token }),
+        (arb_metadata(), "[a-zA-Z0-9 *=<>_,.]{0,40}")
+            .prop_map(|(metadata, sql)| ClientMessage::Execute { metadata, sql }),
+        (arb_metadata(), "[a-zA-Z0-9 *=<>_,.]{0,40}")
+            .prop_map(|(metadata, sql)| ClientMessage::Prepare { metadata, sql }),
+        any::<u64>().prop_map(|statement| ClientMessage::ExecutePrepared { statement }),
+        any::<u64>().prop_map(|statement| ClientMessage::ClosePrepared { statement }),
+        Just(ClientMessage::Goodbye),
+    ]
+}
+
+fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
+    prop_oneof![
+        any::<u32>().prop_map(|version| ServerMessage::HelloAck { version }),
+        any::<i64>().prop_map(|querier| ServerMessage::AuthAck { querier }),
+        arb_result().prop_map(ServerMessage::Rows),
+        any::<u64>().prop_map(|statement| ServerMessage::Prepared { statement }),
+        any::<u64>().prop_map(|statement| ServerMessage::Closed { statement }),
+        (arb_error_code(), "[a-zA-Z0-9 ]{0,30}")
+            .prop_map(|(code, message)| ServerMessage::Error(WireError { code, message })),
+        Just(ServerMessage::Goodbye),
+    ]
+}
+
+// ------------------------------------------------------- round-trip laws
+
+proptest! {
+    /// Every client message round-trips exactly through its payload
+    /// encoding AND through the framed stream.
+    #[test]
+    fn client_message_round_trips(msg in arb_client_message()) {
+        let payload = msg.encode();
+        prop_assert_eq!(&ClientMessage::decode(&payload).unwrap(), &msg);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        let mut cursor = &stream[..];
+        prop_assert_eq!(
+            &ClientMessage::decode(&read_frame(&mut cursor).unwrap()).unwrap(),
+            &msg
+        );
+    }
+
+    /// Every server message round-trips exactly, rows included.
+    #[test]
+    fn server_message_round_trips(msg in arb_server_message()) {
+        let payload = msg.encode();
+        prop_assert_eq!(&ServerMessage::decode(&payload).unwrap(), &msg);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        let mut cursor = &stream[..];
+        prop_assert_eq!(
+            &ServerMessage::decode(&read_frame(&mut cursor).unwrap()).unwrap(),
+            &msg
+        );
+    }
+
+    /// Query results (the bulk payload) survive the codec row-for-row.
+    #[test]
+    fn query_result_round_trips(res in arb_result()) {
+        let mut w = Writer::new();
+        write_result(&mut w, &res);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_result(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(back.columns, res.columns);
+        prop_assert_eq!(back.rows, res.rows);
+    }
+
+    /// Chopping ANY strict prefix off a valid payload must fail decode —
+    /// there is no prefix of a message that silently decodes to less.
+    #[test]
+    fn truncated_payloads_rejected(msg in arb_client_message(), cut in 1usize..64) {
+        let payload = msg.encode();
+        if cut <= payload.len() {
+            let truncated = &payload[..payload.len() - cut];
+            prop_assert!(ClientMessage::decode(truncated).is_err());
+        }
+    }
+
+    /// Appending garbage after a valid message must fail decode: a frame
+    /// is exactly one message.
+    #[test]
+    fn trailing_bytes_rejected(msg in arb_server_message(), extra in vec(any::<u8>(), 1..16)) {
+        let mut payload = msg.encode();
+        payload.extend_from_slice(&extra);
+        prop_assert!(matches!(
+            ServerMessage::decode(&payload),
+            Err(ProtocolError::TrailingBytes { .. })
+        ));
+    }
+
+    /// Unknown message tags are rejected, whatever follows them.
+    #[test]
+    fn unknown_tags_rejected(tag in 8u8..255, body in vec(any::<u8>(), 0..32)) {
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&body);
+        prop_assert!(matches!(
+            ClientMessage::decode(&payload),
+            Err(ProtocolError::UnknownTag { .. })
+        ));
+        prop_assert!(matches!(
+            ServerMessage::decode(&payload),
+            Err(ProtocolError::UnknownTag { .. })
+        ));
+    }
+
+    /// Error codes survive the wire byte-exactly.
+    #[test]
+    fn error_codes_round_trip(code in arb_error_code()) {
+        prop_assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+    }
+}
+
+// -------------------------------------------------------- framing limits
+
+#[test]
+fn oversized_frame_rejected_on_read_and_write() {
+    // Write side refuses to emit an oversized frame.
+    let big = vec![0u8; MAX_FRAME_LEN as usize + 1];
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &big),
+        Err(ProtocolError::Oversized { .. })
+    ));
+    // Read side rejects a hostile length prefix before allocating.
+    let evil = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    let mut cursor = &evil[..];
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn protocol_version_is_stable() {
+    // The handshake constant is part of the wire contract; bumping it is
+    // a deliberate act, not a drive-by.
+    assert_eq!(PROTOCOL_VERSION, 1);
+}
+
+#[test]
+fn bool_values_fail_closed_on_noncanonical_bytes() {
+    // A Bool cell may only be 0 or 1 on the wire; 2 is rejected, not
+    // coerced to true.
+    let mut w = Writer::new();
+    sieve::protocol::codec::write_value(&mut w, &Value::Bool(true));
+    let mut bytes = w.into_bytes();
+    assert_eq!(bytes.len(), 2);
+    bytes[1] = 2;
+    let mut r = Reader::new(&bytes);
+    assert!(matches!(
+        sieve::protocol::codec::read_value(&mut r),
+        Err(ProtocolError::UnknownTag { .. })
+    ));
+}

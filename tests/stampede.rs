@@ -1,0 +1,163 @@
+//! Single-flight guard generation under a cold-miss stampede.
+//!
+//! The contract: K threads cold-missing the SAME (querier, purpose,
+//! relation) key simultaneously must produce exactly ONE guard
+//! generation — one thread builds, the rest block on the in-flight claim
+//! and reuse the published entry — with every thread's rows identical to
+//! the single-threaded oracle. Distinct keys must NOT serialize behind
+//! one another's claims.
+
+use sieve::core::policy::{
+    CondPredicate, ObjectCondition, Policy, QuerierSpec, QueryMetadata,
+};
+use sieve::core::{SieveOptions, SieveService};
+use sieve::minidb::value::DataType;
+use sieve::minidb::{Database, DbProfile, Row, SelectQuery, TableSchema, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+const REL: &str = "wifi_dataset";
+const QUERIERS: [i64; 4] = [500, 501, 502, 503];
+
+fn loaded_db() -> Database {
+    let mut db = Database::new(DbProfile::MySqlLike);
+    db.create_table(TableSchema::of(
+        REL,
+        &[
+            ("id", DataType::Int),
+            ("owner", DataType::Int),
+            ("wifi_ap", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    for i in 0..3000i64 {
+        db.insert(
+            REL,
+            vec![Value::Int(i), Value::Int(i % 80), Value::Int(1000 + i % 10)],
+        )
+        .unwrap();
+    }
+    for col in ["owner", "wifi_ap"] {
+        db.create_index(REL, col).unwrap();
+    }
+    db.analyze(REL).unwrap();
+    db
+}
+
+fn loaded_service() -> SieveService {
+    let service = SieveService::new(loaded_db(), SieveOptions::default()).unwrap();
+    for (k, &querier) in QUERIERS.iter().enumerate() {
+        for owner in 0..30i64 {
+            service
+                .add_policy(Policy::new(
+                    owner,
+                    REL,
+                    QuerierSpec::User(querier),
+                    "Analytics",
+                    vec![ObjectCondition::new(
+                        "wifi_ap",
+                        CondPredicate::Eq(Value::Int(1001 + k as i64)),
+                    )],
+                ))
+                .unwrap();
+        }
+    }
+    service
+}
+
+fn sorted_rows(res: sieve::minidb::QueryResult) -> Vec<Row> {
+    let mut rows = res.rows;
+    rows.sort();
+    rows
+}
+
+/// K threads, one barrier, one cold key: exactly one generation fires,
+/// all K results are row-identical, and the coalesced counter shows the
+/// waiters actually took the single-flight path.
+#[test]
+fn cold_miss_stampede_generates_exactly_once() {
+    const K: usize = 16;
+    let service = loaded_service();
+    let qm = QueryMetadata::new(500, "Analytics");
+    let q = SelectQuery::star_from(REL);
+
+    // Oracle from a throwaway service (leaves the test service cold).
+    let expect = sorted_rows(
+        loaded_service().session(qm.clone()).execute_sql("SELECT * FROM wifi_dataset").unwrap(),
+    );
+    assert!(!expect.is_empty());
+
+    let before = service.generations();
+    assert_eq!(before, 0, "cache must be cold before the stampede");
+    let barrier = Arc::new(Barrier::new(K));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..K {
+            let service = service.clone();
+            let qm = qm.clone();
+            let q = q.clone();
+            let barrier = Arc::clone(&barrier);
+            let expect = expect.clone();
+            let mismatches = Arc::clone(&mismatches);
+            scope.spawn(move || {
+                barrier.wait();
+                let rows = sorted_rows(service.execute(&q, &qm).unwrap());
+                if rows != expect {
+                    mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0, "row drift in stampede");
+    assert_eq!(
+        service.generations() - before,
+        1,
+        "a K-thread cold-miss stampede must cost exactly one generation"
+    );
+    // Exactly one cold miss (the builder's publish); every other thread
+    // lands a warm hit after waiting — threads that parked on the
+    // in-flight claim additionally show up in `coalesced`.
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "stampede must cost one cold miss");
+    assert_eq!(stats.hits as usize, K - 1, "non-builders must all end as hits");
+    assert!(
+        (stats.coalesced as usize) < K,
+        "coalesced {} exceeds possible waiters",
+        stats.coalesced
+    );
+}
+
+/// Distinct keys do not serialize: stampedes on all four queriers at
+/// once still cost exactly one generation *per key*.
+#[test]
+fn distinct_keys_generate_independently() {
+    const PER_KEY: usize = 6;
+    let service = loaded_service();
+    let q = SelectQuery::star_from(REL);
+    assert_eq!(service.generations(), 0);
+    let barrier = Arc::new(Barrier::new(PER_KEY * QUERIERS.len()));
+
+    std::thread::scope(|scope| {
+        for &u in &QUERIERS {
+            for _ in 0..PER_KEY {
+                let service = service.clone();
+                let q = q.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    service
+                        .execute(&q, &QueryMetadata::new(u, "Analytics"))
+                        .unwrap();
+                });
+            }
+        }
+    });
+
+    assert_eq!(
+        service.generations() as usize,
+        QUERIERS.len(),
+        "one generation per distinct cold key, no more"
+    );
+}
