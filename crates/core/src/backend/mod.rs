@@ -6,7 +6,8 @@
 //! exact surface the middleware needs from an engine, and nothing more:
 //!
 //! * **query execution** ([`SqlBackend::exec`] / [`SqlBackend::exec_timed`])
-//!   with [`ExecOptions`] (timeouts);
+//!   with [`ExecOptions`] (timeouts, and the `threads` knob that turns
+//!   large scans morsel-parallel inside the engine);
 //! * **catalog introspection** ([`SqlBackend::table_entry`],
 //!   [`SqlBackend::has_relation`]) — schemas, indexes, and histograms,
 //!   which guard candidate generation and [`crate::cost::calibrate`]

@@ -133,17 +133,41 @@ impl CostModel {
 
     /// Strategy costs of Section 5.5. `guard_rows_total = Σ ρ(G_i)`;
     /// `query_rows` is the optimizer's estimate for the query predicate
-    /// (`None` when no index is usable — cost ∞).
+    /// (`None` when no index is usable — cost ∞). Assumes every guard is
+    /// index-backed; see [`CostModel::strategy_costs_split`] when some are
+    /// not.
     pub fn strategy_costs(
         &self,
         table_rows: f64,
         guard_rows_total: f64,
         query_rows: Option<f64>,
     ) -> StrategyCosts {
+        self.strategy_costs_split(table_rows, guard_rows_total, 0.0, query_rows)
+    }
+
+    /// [`CostModel::strategy_costs`] with the guard cardinality split by
+    /// whether each guard's attribute is indexed. Guards on unindexed
+    /// attributes cannot drive index probes: as soon as any guard must be
+    /// answered by scanning, the IndexGuards strategy degrades to reading
+    /// the whole relation sequentially (the engine's FORCE-hint union
+    /// falls back to a scan when a disjunct has no usable index), so its
+    /// cost is the full scan rather than `Σ ρ(G_i) · c_r`.
+    pub fn strategy_costs_split(
+        &self,
+        table_rows: f64,
+        guard_rows_indexed: f64,
+        guard_rows_scanned: f64,
+        query_rows: Option<f64>,
+    ) -> StrategyCosts {
+        let index_guards = if guard_rows_scanned > 0.0 {
+            table_rows * self.cr_seq
+        } else {
+            guard_rows_indexed * self.cr
+        };
         StrategyCosts {
             linear_scan: table_rows * self.cr_seq,
             index_query: query_rows.map_or(f64::INFINITY, |r| r * self.cr),
-            index_guards: guard_rows_total * self.cr,
+            index_guards,
         }
     }
 }
@@ -290,6 +314,24 @@ mod tests {
         // Nothing selective → LinearScan.
         let c = m.strategy_costs(100_000.0, 90_000.0, None);
         assert_eq!(c.best(), AccessStrategy::LinearScan);
+    }
+
+    #[test]
+    fn unindexed_guards_cost_a_full_scan() {
+        let m = CostModel::default();
+        // All guards indexed: selective guards win as before.
+        let c = m.strategy_costs_split(100_000.0, 800.0, 0.0, Some(60_000.0));
+        assert_eq!(c.best(), AccessStrategy::IndexGuards);
+        // The same guard rows, but one guard's attribute has no index:
+        // IndexGuards degrades to full-scan cost, so the selective query
+        // predicate takes over.
+        let c = m.strategy_costs_split(100_000.0, 700.0, 100.0, Some(100.0));
+        assert_eq!(c.index_guards, c.linear_scan);
+        assert_eq!(c.best(), AccessStrategy::IndexQuery);
+        // And the split with zero scanned rows matches the legacy shape.
+        let a = m.strategy_costs(100_000.0, 5_000.0, Some(100.0));
+        let b = m.strategy_costs_split(100_000.0, 5_000.0, 0.0, Some(100.0));
+        assert_eq!(a, b);
     }
 
     #[test]

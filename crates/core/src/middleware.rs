@@ -99,6 +99,9 @@ pub struct SieveOptions {
     pub regeneration: RegenerationPolicy,
     /// Query timeout (the paper's Experiment 3 uses 30 s).
     pub timeout: Option<Duration>,
+    /// Worker threads for the engine's morsel-parallel scans (0 or 1 =
+    /// sequential). Plumbed into every query's [`minidb::ExecOptions`].
+    pub exec_threads: usize,
     /// Mirror policies and guards into the `rP`/`rOC`/`rGE`/`rGG`/`rGP`
     /// relations (Section 5.1).
     pub persist: bool,

@@ -657,8 +657,18 @@ impl Rewriter<'_> {
 
         let est_guard_rows = fragment.est_guard_rows;
         let strategy = self.opts.forced_strategy.unwrap_or_else(|| {
+            // Guards whose attribute has no index cannot drive probes: the
+            // engine's FORCE-hint union degrades to a scan as soon as one
+            // disjunct is unprobeable, so cost those guards as scanned.
+            let (indexed, scanned) = ge.guards.iter().fold((0.0, 0.0), |(i, s), g| {
+                if entry.has_index(&g.condition.attr) {
+                    (i + g.est_rows, s)
+                } else {
+                    (i, s + g.est_rows)
+                }
+            });
             self.cost
-                .strategy_costs(entry.table.len() as f64, est_guard_rows, est_query_rows)
+                .strategy_costs_split(entry.table.len() as f64, indexed, scanned, est_query_rows)
                 .best()
         });
 

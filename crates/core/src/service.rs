@@ -786,8 +786,10 @@ impl<B: SqlBackend> SieveService<B> {
     }
 
     fn exec_options(&self) -> ExecOptions {
+        let opts = self.inner.options.read();
         ExecOptions {
-            timeout: self.inner.options.read().timeout,
+            timeout: opts.timeout,
+            threads: opts.exec_threads,
         }
     }
 

@@ -168,6 +168,19 @@ impl Database {
             .map(|(i, r)| (i as RowId, r));
         let idx = Index::build(format!("idx_{table}_{column}"), col, column, rows);
         entry.indexes.push(idx);
+        // Indexing a populated table refreshes the column's histogram in
+        // the same step, so the planner's cost gate sees fresh statistics
+        // immediately (CREATE INDEX on real engines analyzes as it builds).
+        // An empty table keeps no histogram: a zero-row histogram would
+        // pin estimates at 0 after later inserts, whereas the no-histogram
+        // fallback reads exact index counts.
+        if !entry.table.is_empty() {
+            let h = Histogram::build(
+                entry.table.rows().iter().map(|r| r[col].clone()),
+                DEFAULT_BUCKETS,
+            );
+            entry.histograms.insert(column.to_string(), h);
+        }
         Ok(())
     }
 
@@ -252,6 +265,13 @@ impl Database {
     /// strategies).
     pub fn explain(&self, query: &SelectQuery) -> DbResult<ExplainOutput> {
         explain_query(self, query)
+    }
+
+    /// EXPLAIN under specific execution options: with a thread knob set,
+    /// large scans report as `ParallelScan(morsels=…)` and the
+    /// PostgreSQL-like bitmap gate tightens accordingly.
+    pub fn explain_opts(&self, query: &SelectQuery, opts: &ExecOptions) -> DbResult<ExplainOutput> {
+        crate::explain::explain_query_opts(self, query, opts)
     }
 
     /// Parse and run a SQL string.
@@ -347,5 +367,51 @@ mod tests {
         db.create_index("t", "owner").unwrap();
         db.create_index("t", "owner").unwrap();
         assert_eq!(db.table("t").unwrap().indexes.len(), 1);
+    }
+
+    #[test]
+    fn create_index_on_populated_table_refreshes_histogram() {
+        use crate::expr::{ColumnRef, Expr};
+        let mut db = db_with_table();
+        // Index built after the inserts, with NO explicit ANALYZE: the
+        // planner's cost gate must still see fresh statistics.
+        db.create_index("t", "owner").unwrap();
+        let entry = db.table("t").unwrap();
+        let h = entry.histogram("owner").expect("histogram built with index");
+        assert_eq!(h.total(), 50);
+        assert_eq!(h.distinct(), 5);
+        // And the gate acts on them: owner = 3 is 10/50 = 20% ≤ 25%, so
+        // the unhinted MySQL-like planner picks the index immediately.
+        let q = SelectQuery::star_from("t")
+            .filter(Expr::col_eq(ColumnRef::bare("owner"), Value::Int(3)));
+        let e = db.explain(&q).unwrap();
+        assert!(
+            e.relations[0].access_desc.starts_with("IndexScan"),
+            "got {}",
+            e.relations[0].access_desc
+        );
+        assert!((e.relations[0].est_rows - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn create_index_on_empty_table_defers_statistics() {
+        let mut db = Database::new(DbProfile::MySqlLike);
+        db.create_table(TableSchema::of(
+            "e",
+            &[("id", DataType::Int), ("owner", DataType::Int)],
+        ))
+        .unwrap();
+        db.create_index("e", "owner").unwrap();
+        // No zero-row histogram pinned: estimates fall back to exact
+        // index counts, which track subsequent inserts.
+        assert!(db.table("e").unwrap().histogram("owner").is_none());
+        for i in 0..50i64 {
+            db.insert("e", vec![Value::Int(i), Value::Int(i % 5)]).unwrap();
+        }
+        use crate::expr::{ColumnRef, Expr};
+        let q = SelectQuery::star_from("e")
+            .filter(Expr::col_eq(ColumnRef::bare("owner"), Value::Int(1)));
+        let e = db.explain(&q).unwrap();
+        assert!((e.relations[0].est_rows - 10.0).abs() < f64::EPSILON);
     }
 }

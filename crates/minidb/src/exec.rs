@@ -11,12 +11,16 @@ use crate::catalog::{Database, TableEntry};
 use crate::error::{DbError, DbResult};
 use crate::expr::{bind, ColumnRef, EvalContext, Expr, FilterProgram, Layout, QueryRunner};
 use crate::plan::{AggFunc, IndexHint, SelectItem, SelectQuery, TableRef, TableSource};
-use crate::planner::{classify_predicate, plan_access, AccessPlan, JoinCond};
+use crate::planner::{
+    classify_predicate, plan_access_opts, AccessPlan, JoinCond, ScanOptions, MORSEL_ROWS,
+    PARALLEL_MIN_ROWS,
+};
 use crate::schema::{Column, TableSchema};
 use crate::stats::StatsSink;
 use crate::table::{Row, RowId, ROWS_PER_PAGE};
 use crate::value::{DataType, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +30,10 @@ pub struct ExecOptions {
     /// Abort with [`DbError::Timeout`] when execution exceeds this. The
     /// paper's Experiment 3 uses a 30 s timeout.
     pub timeout: Option<Duration>,
+    /// Worker threads for morsel-parallel scans; `0` or `1` (the default)
+    /// keeps every scan sequential. Inputs below
+    /// [`crate::planner::PARALLEL_MIN_ROWS`] stay sequential regardless.
+    pub threads: usize,
 }
 
 impl ExecOptions {
@@ -33,6 +41,15 @@ impl ExecOptions {
     pub fn with_timeout(timeout: Duration) -> Self {
         ExecOptions {
             timeout: Some(timeout),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Options with a scan-parallelism level.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
         }
     }
 }
@@ -92,6 +109,10 @@ impl TempTable {
     }
 }
 
+/// One parallel-filter worker's output: `(morsel index, surviving rows)`
+/// pairs in claim order, merged back by index for a deterministic result.
+type MorselOut = Vec<(usize, Vec<Row>)>;
+
 /// What a FROM entry resolved to.
 enum Rel<'a> {
     Base(&'a TableEntry),
@@ -128,6 +149,7 @@ pub fn execute(db: &Database, query: &SelectQuery, opts: &ExecOptions) -> DbResu
         temps: Arc::new(HashMap::new()),
         deadline: opts.timeout.map(|t| Instant::now() + t),
         params: Arc::new(HashMap::new()),
+        threads: opts.threads,
     };
     exec.run(query)
 }
@@ -140,6 +162,8 @@ struct Exec<'a> {
     deadline: Option<Instant>,
     /// Correlation parameters, shared the same way.
     params: Arc<HashMap<String, Value>>,
+    /// Scan-parallelism knob from [`ExecOptions::threads`].
+    threads: usize,
 }
 
 impl QueryRunner for Exec<'_> {
@@ -153,6 +177,9 @@ impl QueryRunner for Exec<'_> {
             temps: Arc::clone(&self.temps),
             deadline: self.deadline,
             params: Arc::new(params),
+            // Correlated subqueries run once per outer row; nesting scan
+            // workers inside them would oversubscribe the pool.
+            threads: 0,
         };
         Ok(nested.run(query)?.rows)
     }
@@ -198,6 +225,7 @@ impl<'a> Exec<'a> {
                 temps: Arc::new(temps),
                 deadline: self.deadline,
                 params: Arc::clone(&self.params),
+                threads: self.threads,
             };
             let result = nested.run(&wc.query)?;
             temps = Arc::try_unwrap(nested.temps).unwrap_or_else(|a| (*a).clone());
@@ -211,6 +239,7 @@ impl<'a> Exec<'a> {
             temps: Arc::new(temps),
             deadline: self.deadline,
             params: Arc::clone(&self.params),
+            threads: self.threads,
         };
         nested.run_body(query)
     }
@@ -353,14 +382,25 @@ impl<'a> Exec<'a> {
                 Ok(out)
             }
             Rel::Base(entry) => {
-                let plan = plan_access(entry, alias, predicate, hint, self.db.profile());
+                let plan = plan_access_opts(
+                    entry,
+                    alias,
+                    predicate,
+                    hint,
+                    self.db.profile(),
+                    ScanOptions {
+                        threads: self.threads,
+                    },
+                );
                 self.scan_base(entry, &plan, &program, &ctx)
             }
         }
     }
 
     /// Drive owned rows through a filter program in batches, cloning only
-    /// survivors into `out`.
+    /// survivors into `out`. Large inputs go morsel-parallel when the
+    /// thread knob allows (temp tables have no access plan, so the
+    /// decision is made here with the same thresholds the planner uses).
     fn filter_batched(
         &self,
         rows: &[Row],
@@ -368,12 +408,74 @@ impl<'a> Exec<'a> {
         ctx: &EvalContext<'_>,
         out: &mut Vec<Row>,
     ) -> DbResult<()> {
+        if self.threads >= 2 && rows.len() >= PARALLEL_MIN_ROWS {
+            return self.filter_parallel(rows, program, out);
+        }
         let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
         for chunk in rows.chunks(FILTER_BATCH) {
             self.check_deadline()?;
             sel.clear();
             program.select_into(chunk, |r| r.as_slice(), ctx, &mut sel)?;
             out.extend(sel.iter().map(|&i| chunk[i as usize].clone()));
+        }
+        Ok(())
+    }
+
+    /// Morsel-parallel filter: workers claim [`MORSEL_ROWS`]-sized chunks
+    /// off a shared counter, filter them locally, and the survivors are
+    /// concatenated in morsel order — row-identical to the sequential
+    /// path. The [`StatsSink`] is relaxed-atomic, so workers charge
+    /// predicate evaluations concurrently without coordination.
+    fn filter_parallel(
+        &self,
+        rows: &[Row],
+        program: &FilterProgram,
+        out: &mut Vec<Row>,
+    ) -> DbResult<()> {
+        let morsels: Vec<&[Row]> = rows.chunks(MORSEL_ROWS).collect();
+        let workers = self.threads.min(morsels.len());
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<DbResult<MorselOut>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| -> DbResult<MorselOut> {
+                        // Each worker builds its own context: `EvalContext`
+                        // borrows are cheap, and nested subqueries run
+                        // sequentially inside the owning worker.
+                        let ctx = self.eval_ctx();
+                        let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
+                        let mut local: MorselOut = Vec::new();
+                        loop {
+                            let m = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = morsels.get(m) else {
+                                break;
+                            };
+                            self.check_deadline()?;
+                            let mut kept: Vec<Row> = Vec::new();
+                            for sub in chunk.chunks(FILTER_BATCH) {
+                                sel.clear();
+                                program.select_into(sub, |r| r.as_slice(), &ctx, &mut sel)?;
+                                kept.extend(sel.iter().map(|&i| sub[i as usize].clone()));
+                            }
+                            local.push((m, kept));
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+        });
+        let mut per_morsel: Vec<Vec<Row>> = (0..morsels.len()).map(|_| Vec::new()).collect();
+        for r in results {
+            for (m, kept) in r? {
+                per_morsel[m] = kept;
+            }
+        }
+        for kept in &mut per_morsel {
+            out.append(kept);
         }
         Ok(())
     }
@@ -389,10 +491,12 @@ impl<'a> Exec<'a> {
         // selected rows.
         let mut sel: Vec<u32> = Vec::with_capacity(FILTER_BATCH);
         match plan {
-            AccessPlan::SeqScan => {
+            AccessPlan::SeqScan | AccessPlan::ParallelScan { .. } => {
                 // Same accounting as `Table::scan` (every page once,
                 // sequentially, one tuple read per row), but filtering
                 // directly over the contiguous row slice in batches.
+                // `filter_batched` splits into parallel morsels exactly
+                // when the plan says ParallelScan (same thresholds).
                 let stats = self.stats();
                 stats.seq_pages(entry.table.page_count());
                 stats.tuples(entry.table.len() as u64);
@@ -400,7 +504,11 @@ impl<'a> Exec<'a> {
                 self.filter_batched(entry.table.rows(), program, ctx, &mut out)?;
                 Ok(out)
             }
-            AccessPlan::IndexOr { probes, bitmap } => {
+            AccessPlan::IndexOr {
+                probes,
+                bitmap,
+                residual,
+            } => {
                 let stats = self.stats();
                 if *bitmap {
                     // PostgreSQL-style: OR the row-id bitmaps, fetch once.
@@ -412,6 +520,11 @@ impl<'a> Exec<'a> {
                     ids.dedup();
                     self.check_deadline()?;
                     let fetched = entry.table.fetch(&ids, stats);
+                    if !residual {
+                        // Exact probe union: every fetched row satisfies
+                        // the predicate; skip re-evaluating it.
+                        return Ok(fetched.into_iter().map(|(_, r)| r.clone()).collect());
+                    }
                     let mut out = Vec::new();
                     for batch in fetched.chunks(FILTER_BATCH) {
                         self.check_deadline()?;
@@ -429,7 +542,17 @@ impl<'a> Exec<'a> {
                     for p in probes {
                         self.check_deadline()?;
                         let ids = p.run(entry, stats);
-                        let mut fetched = entry.table.fetch(&ids, stats).into_iter();
+                        let fetched = entry.table.fetch(&ids, stats);
+                        if !residual {
+                            // Exact union: keep every not-yet-seen row.
+                            for (id, row) in fetched {
+                                if seen.insert(id) {
+                                    out.push(row.clone());
+                                }
+                            }
+                            continue;
+                        }
+                        let mut fetched = fetched.into_iter();
                         loop {
                             batch.clear();
                             batch.extend(
@@ -1124,5 +1247,87 @@ mod tests {
         let mut q = SelectQuery::star_from("wifi");
         q.limit = Some(5);
         assert_eq!(db.run_query(&q).unwrap().len(), 5);
+    }
+
+    fn big_db(profile: DbProfile) -> Database {
+        let mut db = Database::new(profile);
+        db.create_table(TableSchema::of(
+            "big",
+            &[("id", DataType::Int), ("owner", DataType::Int)],
+        ))
+        .unwrap();
+        for i in 0..(2 * crate::planner::PARALLEL_MIN_ROWS as i64 + 123) {
+            db.insert("big", vec![Value::Int(i), Value::Int(i % 97)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_in_order() {
+        let db = big_db(DbProfile::MySqlLike);
+        let q = SelectQuery {
+            from: vec![TableRef::named("big").with_hint(IndexHint::IgnoreAll)],
+            ..SelectQuery::star_from("big")
+        }
+        .filter(Expr::col_cmp(
+            ColumnRef::bare("owner"),
+            CmpOp::Lt,
+            Value::Int(40),
+        ));
+        let seq = db.run_query(&q).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = db
+                .run_query_opts(&q, &ExecOptions::with_threads(threads))
+                .unwrap();
+            // Identical rows in identical order: morsel results are
+            // concatenated in morsel order.
+            assert_eq!(par.rows, seq.rows, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_filter_applies_to_temp_tables() {
+        let db = big_db(DbProfile::MySqlLike);
+        let inner = SelectQuery::star_from("big");
+        let outer = SelectQuery::star_from("big_cte")
+            .with_clause("big_cte", inner)
+            .filter(Expr::col_eq(ColumnRef::bare("owner"), Value::Int(13)));
+        let seq = db.run_query(&outer).unwrap();
+        let par = db
+            .run_query_opts(&outer, &ExecOptions::with_threads(4))
+            .unwrap();
+        assert_eq!(par.rows, seq.rows);
+        assert!(!par.is_empty());
+    }
+
+    #[test]
+    fn parallel_scan_honors_timeout() {
+        let db = big_db(DbProfile::MySqlLike);
+        let q = SelectQuery::star_from("big");
+        let opts = ExecOptions {
+            timeout: Some(Duration::ZERO),
+            threads: 4,
+        };
+        assert_eq!(db.run_query_opts(&q, &opts).unwrap_err(), DbError::Timeout);
+    }
+
+    #[test]
+    fn exact_index_union_skips_residual_evaluation() {
+        let db = sample_db(DbProfile::MySqlLike);
+        let pred = Expr::or(
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(3)),
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(4)),
+        );
+        let q = SelectQuery {
+            from: vec![TableRef::named("wifi").with_hint(IndexHint::Force(vec!["owner".into()]))],
+            ..SelectQuery::star_from("wifi")
+        }
+        .filter(pred);
+        db.stats().reset();
+        let res = db.run_query(&q).unwrap();
+        assert_eq!(res.len(), 40);
+        // The probe union is exact: no per-row predicate re-evaluation.
+        assert_eq!(db.stats().snapshot().predicate_evals, 0);
     }
 }

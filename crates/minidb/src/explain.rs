@@ -8,8 +8,9 @@
 
 use crate::catalog::Database;
 use crate::error::DbResult;
+use crate::exec::ExecOptions;
 use crate::plan::{SelectQuery, TableSource};
-use crate::planner::{classify_predicate, plan_access, AccessPlan};
+use crate::planner::{classify_predicate, plan_access_opts, AccessPlan, ScanOptions};
 use std::fmt;
 use std::sync::Arc;
 
@@ -67,12 +68,29 @@ impl fmt::Display for ExplainOutput {
     }
 }
 
-/// Produce the EXPLAIN of a query.
+/// Produce the EXPLAIN of a query with default execution options
+/// (sequential scans).
 pub fn explain_query(db: &Database, query: &SelectQuery) -> DbResult<ExplainOutput> {
+    explain_query_opts(db, query, &ExecOptions::default())
+}
+
+/// Produce the EXPLAIN of a query as it would be planned under `opts`:
+/// the thread knob surfaces morsel-parallel scans
+/// (`ParallelScan(morsels=…)`) and tightens the PostgreSQL-like bitmap
+/// gate exactly as execution would.
+pub fn explain_query_opts(
+    db: &Database,
+    query: &SelectQuery,
+    opts: &ExecOptions,
+) -> DbResult<ExplainOutput> {
+    let scan = ScanOptions {
+        threads: opts.threads,
+    };
     let mut out = ExplainOutput::default();
     let mut cte_names: Vec<String> = Vec::new();
     for wc in &query.with {
-        out.ctes.push((wc.name.clone(), explain_query(db, &wc.query)?));
+        out.ctes
+            .push((wc.name.clone(), explain_query_opts(db, &wc.query, opts)?));
         cte_names.push(wc.name.clone());
     }
 
@@ -126,7 +144,14 @@ pub fn explain_query(db: &Database, query: &SelectQuery) -> DbResult<ExplainOutp
             }
         };
         let local = classified.local_predicate(&tref.alias);
-        let plan = plan_access(entry, &tref.alias, local.as_ref(), &tref.hint, db.profile());
+        let plan = plan_access_opts(
+            entry,
+            &tref.alias,
+            local.as_ref(),
+            &tref.hint,
+            db.profile(),
+            scan,
+        );
         let est_rows = plan.estimate_rows(entry);
         let rows = entry.table.len().max(1) as f64;
         out.relations.push(RelationPlan {
@@ -188,6 +213,53 @@ mod tests {
         let e = db.explain(&q).unwrap();
         assert_eq!(e.relations[0].access_desc, "SeqScan");
         assert_eq!(e.relations[0].est_rows, 500.0);
+    }
+
+    #[test]
+    fn explain_renders_parallel_scan_and_index_union() {
+        use crate::planner::PARALLEL_MIN_ROWS;
+        let mut db = Database::new(DbProfile::MySqlLike);
+        db.create_table(TableSchema::of(
+            "big",
+            &[("id", DataType::Int), ("owner", DataType::Int)],
+        ))
+        .unwrap();
+        for i in 0..(PARALLEL_MIN_ROWS as i64 + 500) {
+            db.insert("big", vec![Value::Int(i), Value::Int(i % 40)]).unwrap();
+        }
+        db.create_index("big", "owner").unwrap();
+
+        // Thread knob on → the unhinted scan reports its morsel split.
+        let scan_q = SelectQuery {
+            from: vec![TableRef::named("big").with_hint(IndexHint::IgnoreAll)],
+            ..SelectQuery::star_from("big")
+        };
+        let opts = crate::exec::ExecOptions::with_threads(4);
+        let e = db.explain_opts(&scan_q, &opts).unwrap();
+        assert!(
+            e.relations[0].access_desc.starts_with("ParallelScan(morsels="),
+            "got {}",
+            e.relations[0].access_desc
+        );
+        // Default options: same query is a plain SeqScan.
+        let e = db.explain(&scan_q).unwrap();
+        assert_eq!(e.relations[0].access_desc, "SeqScan");
+
+        // Guard-shaped OR with a FORCE hint → exact index union.
+        let pred = Expr::or(
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(1)),
+            Expr::col_eq(ColumnRef::bare("owner"), Value::Int(2)),
+        );
+        let union_q = SelectQuery {
+            from: vec![TableRef::named("big").with_hint(IndexHint::Force(vec!["owner".into()]))],
+            ..SelectQuery::star_from("big")
+        }
+        .filter(pred);
+        let e = db.explain(&union_q).unwrap();
+        assert_eq!(
+            e.relations[0].access_desc,
+            "IndexUnion(col=owner, 2 probes, exact)"
+        );
     }
 
     #[test]

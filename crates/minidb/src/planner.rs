@@ -40,6 +40,37 @@ pub const MYSQL_INDEX_FRACTION: f64 = 0.25;
 /// scans through a bitmap rather than scanning sequentially.
 pub const PG_BITMAP_FRACTION: f64 = 0.40;
 
+/// Rows per morsel for parallel scans. Big enough that a worker's claim
+/// amortizes the atomic fetch-add and per-morsel deadline check, small
+/// enough that skewed filters still load-balance across workers.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// Below this row count a scan stays sequential regardless of the thread
+/// knob: spawning scoped workers costs more than filtering the rows.
+pub const PARALLEL_MIN_ROWS: usize = 2 * MORSEL_ROWS;
+
+/// Execution-environment knobs that influence access-path choice (as
+/// opposed to [`DbProfile`], which selects *which optimizer* to imitate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads available for morsel-parallel scans; `0` or `1`
+    /// means sequential execution.
+    pub threads: usize,
+}
+
+impl ScanOptions {
+    /// Effective scan parallelism for a table of `rows` rows: the number
+    /// of workers a scan would actually use, or 1 when the input is too
+    /// small to beat the thread-spawn cost.
+    pub fn scan_ways(&self, rows: usize) -> usize {
+        if self.threads >= 2 && rows >= PARALLEL_MIN_ROWS {
+            self.threads.min(rows.div_ceil(MORSEL_ROWS))
+        } else {
+            1
+        }
+    }
+}
+
 /// A single index probe the executor can run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IndexProbe {
@@ -105,6 +136,28 @@ impl IndexProbe {
         }
     }
 
+    /// True iff the rows this probe returns are *exactly* the rows
+    /// satisfying the comparison it was derived from, so the executor can
+    /// skip re-filtering them. NULL keys break the equivalence: the index
+    /// stores NULL (it sorts below every value), but SQL comparisons
+    /// against NULL are false — so a NULL probe key, or a range whose low
+    /// end is unbounded (and therefore starts at the NULL keys), must keep
+    /// the residual filter.
+    pub fn is_exact(&self) -> bool {
+        match self {
+            IndexProbe::Point { key, .. } => !key.is_null(),
+            IndexProbe::Range { low, high, .. } => {
+                let bounded_non_null = |b: &RangeBound| match b {
+                    RangeBound::Inclusive(v) | RangeBound::Exclusive(v) => !v.is_null(),
+                    RangeBound::Unbounded => false,
+                };
+                bounded_non_null(low)
+                    && (matches!(high, RangeBound::Unbounded) || bounded_non_null(high))
+            }
+            IndexProbe::InList { keys, .. } => keys.iter().all(|k| !k.is_null()),
+        }
+    }
+
     /// Run the probe, returning matching row ids.
     pub fn run(&self, entry: &TableEntry, stats: &StatsSink) -> Vec<RowId> {
         let idx = match entry.index_on(self.column()) {
@@ -124,6 +177,14 @@ impl IndexProbe {
 pub enum AccessPlan {
     /// Sequential scan; the full predicate is applied as a filter.
     SeqScan,
+    /// Morsel-parallel sequential scan: the row slice is split into
+    /// [`MORSEL_ROWS`]-sized chunks claimed by scoped worker threads, and
+    /// the per-morsel selections are concatenated in morsel order (so the
+    /// result is row-identical to [`AccessPlan::SeqScan`]).
+    ParallelScan {
+        /// Number of morsels the row slice splits into.
+        morsels: usize,
+    },
     /// One index probe per disjunct of the predicate. `bitmap` selects the
     /// PostgreSQL behaviour (dedup row ids before one heap fetch) versus
     /// the MySQL `UNION` behaviour (fetch per branch, dedup after).
@@ -132,6 +193,10 @@ pub enum AccessPlan {
         probes: Vec<IndexProbe>,
         /// Dedup before fetch (PostgreSQL) vs after (MySQL UNION).
         bitmap: bool,
+        /// Whether the fetched rows still need the full predicate applied.
+        /// `false` only when every disjunct is a single exact probe
+        /// (see [`IndexProbe::is_exact`]), so probe ∪ ≡ predicate.
+        residual: bool,
     },
 }
 
@@ -140,17 +205,33 @@ impl AccessPlan {
     pub fn describe(&self) -> String {
         match self {
             AccessPlan::SeqScan => "SeqScan".to_string(),
-            AccessPlan::IndexOr { probes, bitmap } => {
+            AccessPlan::ParallelScan { morsels } => {
+                format!("ParallelScan(morsels={morsels})")
+            }
+            AccessPlan::IndexOr {
+                probes,
+                bitmap,
+                residual,
+            } => {
                 let cols: Vec<&str> = probes.iter().map(|p| p.column()).collect();
                 let mut uniq = cols.clone();
                 uniq.sort_unstable();
                 uniq.dedup();
+                let tail = if *residual { ", residual" } else { ", exact" };
                 if *bitmap && probes.len() > 1 {
-                    format!("BitmapOr({} probes on {})", probes.len(), uniq.join(","))
+                    format!(
+                        "BitmapOr(col={}, {} probes{tail})",
+                        uniq.join(","),
+                        probes.len()
+                    )
                 } else if probes.len() > 1 {
-                    format!("IndexUnion({} probes on {})", probes.len(), uniq.join(","))
+                    format!(
+                        "IndexUnion(col={}, {} probes{tail})",
+                        uniq.join(","),
+                        probes.len()
+                    )
                 } else {
-                    format!("IndexScan({})", uniq.join(","))
+                    format!("IndexScan({}{tail})", uniq.join(","))
                 }
             }
         }
@@ -159,7 +240,7 @@ impl AccessPlan {
     /// Estimated rows this plan reads from the heap.
     pub fn estimate_rows(&self, entry: &TableEntry) -> f64 {
         match self {
-            AccessPlan::SeqScan => entry.table.len() as f64,
+            AccessPlan::SeqScan | AccessPlan::ParallelScan { .. } => entry.table.len() as f64,
             AccessPlan::IndexOr { probes, .. } => probes
                 .iter()
                 .map(|p| p.estimate_rows(entry))
@@ -287,17 +368,26 @@ fn best_probe_in_conjuncts(
 }
 
 /// One probe per disjunct of `pred`; `None` if any disjunct has no probe
-/// (an unguardable branch forces a scan — every row could match it).
+/// (an unguardable branch forces a scan — every row could match it). The
+/// returned flag is true when the probe union covers the predicate
+/// *exactly* — every disjunct is a single conjunct whose probe
+/// [`IndexProbe::is_exact`] — so the executor can skip the residual
+/// filter. Guard fragments (`owner = X`, `purpose ∈ …`) are precisely this
+/// shape.
 fn probes_per_disjunct(
     pred: &Expr,
     entry: &TableEntry,
     alias: &str,
     allowed: Option<&[String]>,
-) -> Option<Vec<IndexProbe>> {
-    pred.disjuncts()
-        .iter()
-        .map(|d| best_probe_in_conjuncts(d, entry, alias, allowed))
-        .collect()
+) -> Option<(Vec<IndexProbe>, bool)> {
+    let mut probes = Vec::new();
+    let mut exact = true;
+    for d in pred.disjuncts() {
+        let p = best_probe_in_conjuncts(d, entry, alias, allowed)?;
+        exact = exact && d.conjuncts().len() == 1 && p.is_exact();
+        probes.push(p);
+    }
+    Some((probes, exact))
 }
 
 /// For an AND predicate, consider each conjunct that is itself an OR whose
@@ -311,7 +401,7 @@ fn probes_from_or_conjunct(
     let mut best: Option<(f64, Vec<IndexProbe>)> = None;
     for conj in pred.conjuncts() {
         if let Expr::Or(_) = conj {
-            if let Some(probes) = probes_per_disjunct(conj, entry, alias, None) {
+            if let Some((probes, _)) = probes_per_disjunct(conj, entry, alias, None) {
                 let est: f64 = probes.iter().map(|p| p.estimate_rows(entry)).sum();
                 if best.as_ref().is_none_or(|(b, _)| est < *b) {
                     best = Some((est, probes));
@@ -322,7 +412,21 @@ fn probes_from_or_conjunct(
     best.map(|(_, p)| p)
 }
 
-/// Plan the access path for one table given its local predicate and hint.
+/// The scan-shaped fallback plan: morsel-parallel when the thread knob and
+/// table size justify it, plain sequential otherwise.
+fn scan_plan(entry: &TableEntry, scan: ScanOptions) -> AccessPlan {
+    let rows = entry.table.len();
+    if scan.scan_ways(rows) > 1 {
+        AccessPlan::ParallelScan {
+            morsels: rows.div_ceil(MORSEL_ROWS),
+        }
+    } else {
+        AccessPlan::SeqScan
+    }
+}
+
+/// Plan the access path for one table given its local predicate and hint,
+/// with default [`ScanOptions`] (sequential scans).
 pub fn plan_access(
     entry: &TableEntry,
     alias: &str,
@@ -330,8 +434,30 @@ pub fn plan_access(
     hint: &IndexHint,
     profile: DbProfile,
 ) -> AccessPlan {
+    plan_access_opts(entry, alias, predicate, hint, profile, ScanOptions::default())
+}
+
+/// Plan the access path for one table given its local predicate, hint, and
+/// execution environment.
+///
+/// Decision rule: index-shaped candidates (per-disjunct probe unions, and
+/// on PostgreSQL BitmapOr over an OR-conjunct) are gated on estimated
+/// selectivity against the *scan they would replace*. With `scan.threads`
+/// workers a scan is ~`scan_ways` times cheaper, so the PostgreSQL-like
+/// profile shrinks its bitmap gate proportionally; the MySQL-like profile
+/// models a single-threaded optimizer (classic InnoDB has no parallel
+/// query) and keeps its gate fixed. When no index path survives the gate,
+/// the fallback is [`scan_plan`] — parallel when worthwhile.
+pub fn plan_access_opts(
+    entry: &TableEntry,
+    alias: &str,
+    predicate: Option<&Expr>,
+    hint: &IndexHint,
+    profile: DbProfile,
+    scan: ScanOptions,
+) -> AccessPlan {
     let Some(pred) = predicate else {
-        return AccessPlan::SeqScan;
+        return scan_plan(entry, scan);
     };
     let table_rows = entry.table.len().max(1) as f64;
 
@@ -339,16 +465,18 @@ pub fn plan_access(
     // ignores them entirely (paper Section 5.3).
     if profile == DbProfile::MySqlLike {
         match hint {
-            IndexHint::IgnoreAll => return AccessPlan::SeqScan,
+            IndexHint::IgnoreAll => return scan_plan(entry, scan),
             IndexHint::Force(cols) => {
-                if let Some(probes) = probes_per_disjunct(pred, entry, alias, Some(cols)) {
+                if let Some((probes, exact)) = probes_per_disjunct(pred, entry, alias, Some(cols))
+                {
                     return AccessPlan::IndexOr {
                         probes,
                         bitmap: false,
+                        residual: !exact,
                     };
                 }
                 // FORCE INDEX that cannot be applied degenerates to a scan.
-                return AccessPlan::SeqScan;
+                return scan_plan(entry, scan);
             }
             IndexHint::None => {}
         }
@@ -362,37 +490,41 @@ pub fn plan_access(
             if disjuncts.len() == 1 {
                 if let Some(p) = best_probe_in_conjuncts(disjuncts[0], entry, alias, None) {
                     if p.estimate_rows(entry) / table_rows <= MYSQL_INDEX_FRACTION {
+                        let exact = disjuncts[0].conjuncts().len() == 1 && p.is_exact();
                         return AccessPlan::IndexOr {
                             probes: vec![p],
                             bitmap: false,
+                            residual: !exact,
                         };
                     }
                 }
             }
-            AccessPlan::SeqScan
+            scan_plan(entry, scan)
         }
         DbProfile::PostgresLike => {
             // Cost-based: try (a) one probe per top-level disjunct, and
             // (b) BitmapOr over an OR-shaped conjunct inside an AND.
             let candidates = [
                 probes_per_disjunct(pred, entry, alias, None),
-                probes_from_or_conjunct(pred, entry, alias),
+                probes_from_or_conjunct(pred, entry, alias).map(|p| (p, false)),
             ];
-            let mut best: Option<(f64, Vec<IndexProbe>)> = None;
-            for cand in candidates.into_iter().flatten() {
+            let mut best: Option<(f64, Vec<IndexProbe>, bool)> = None;
+            for (cand, exact) in candidates.into_iter().flatten() {
                 let est: f64 = cand.iter().map(|p| p.estimate_rows(entry)).sum();
-                if best.as_ref().is_none_or(|(b, _)| est < *b) {
-                    best = Some((est, cand));
+                if best.as_ref().is_none_or(|(b, _, _)| est < *b) {
+                    best = Some((est, cand, exact));
                 }
             }
+            // A parallel scan is ~scan_ways× cheaper than a sequential one,
+            // so an index path must be proportionally more selective to win.
+            let gate = PG_BITMAP_FRACTION / scan.scan_ways(entry.table.len()) as f64;
             match best {
-                Some((est, probes)) if est / table_rows <= PG_BITMAP_FRACTION => {
-                    AccessPlan::IndexOr {
-                        probes,
-                        bitmap: true,
-                    }
-                }
-                _ => AccessPlan::SeqScan,
+                Some((est, probes, exact)) if est / table_rows <= gate => AccessPlan::IndexOr {
+                    probes,
+                    bitmap: true,
+                    residual: !exact,
+                },
+                _ => scan_plan(entry, scan),
             }
         }
     }
@@ -573,7 +705,10 @@ mod tests {
         let db = setup(DbProfile::MySqlLike);
         let entry = db.table("w").unwrap();
         let plan = plan_access(entry, "w", Some(&owner_eq(5)), &IndexHint::None, DbProfile::MySqlLike);
-        assert!(matches!(plan, AccessPlan::IndexOr { ref probes, bitmap: false } if probes.len() == 1));
+        assert!(matches!(
+            plan,
+            AccessPlan::IndexOr { ref probes, bitmap: false, .. } if probes.len() == 1
+        ));
     }
 
     #[test]
@@ -593,9 +728,16 @@ mod tests {
         let hint = IndexHint::Force(vec!["owner".into()]);
         let plan = plan_access(entry, "w", Some(&pred), &hint, DbProfile::MySqlLike);
         match plan {
-            AccessPlan::IndexOr { probes, bitmap } => {
+            AccessPlan::IndexOr {
+                probes,
+                bitmap,
+                residual,
+            } => {
                 assert_eq!(probes.len(), 2);
                 assert!(!bitmap);
+                // Each disjunct is a bare `owner = k`: probes are exact,
+                // the executor may skip the residual filter.
+                assert!(!residual);
             }
             other => panic!("expected IndexOr, got {other:?}"),
         }
@@ -651,7 +793,10 @@ mod tests {
         let pred = Expr::and(qpred, policies);
         let plan = plan_access(entry, "w", Some(&pred), &IndexHint::None, DbProfile::PostgresLike);
         assert!(
-            matches!(plan, AccessPlan::IndexOr { bitmap: true, ref probes } if probes.len() == 2),
+            matches!(
+                plan,
+                AccessPlan::IndexOr { bitmap: true, ref probes, residual: true } if probes.len() == 2
+            ),
             "got {plan:?}"
         );
     }
@@ -707,5 +852,125 @@ mod tests {
         let hint = IndexHint::Force(vec!["ts_time".into()]); // not indexed
         let plan = plan_access(entry, "w", Some(&owner_eq(1)), &hint, DbProfile::MySqlLike);
         assert_eq!(plan, AccessPlan::SeqScan);
+    }
+
+    #[test]
+    fn thread_knob_turns_scans_parallel() {
+        let db = setup(DbProfile::MySqlLike);
+        let entry = db.table("w").unwrap();
+        let scan = ScanOptions { threads: 4 };
+        // 2000 rows < PARALLEL_MIN_ROWS: stays sequential.
+        let plan = plan_access_opts(
+            entry,
+            "w",
+            None,
+            &IndexHint::None,
+            DbProfile::MySqlLike,
+            scan,
+        );
+        assert_eq!(plan, AccessPlan::SeqScan);
+        // Above the floor the scan splits into morsels.
+        let mut big = Database::new(DbProfile::MySqlLike);
+        big.create_table(TableSchema::of("b", &[("x", DataType::Int)]))
+            .unwrap();
+        for i in 0..(PARALLEL_MIN_ROWS as i64 + 10) {
+            big.insert("b", vec![Value::Int(i)]).unwrap();
+        }
+        let entry = big.table("b").unwrap();
+        let plan = plan_access_opts(
+            entry,
+            "b",
+            None,
+            &IndexHint::None,
+            DbProfile::MySqlLike,
+            scan,
+        );
+        assert_eq!(
+            plan,
+            AccessPlan::ParallelScan {
+                morsels: (PARALLEL_MIN_ROWS + 10).div_ceil(MORSEL_ROWS)
+            }
+        );
+        assert!(plan.describe().starts_with("ParallelScan(morsels="));
+    }
+
+    #[test]
+    fn unbounded_low_range_keeps_residual_filter() {
+        let db = setup(DbProfile::MySqlLike);
+        let entry = db.table("w").unwrap();
+        // `wifi_ap <= 1001` probes the index from the unbounded low end,
+        // which includes NULL keys — the filter must stay on.
+        let pred = Expr::col_cmp(ColumnRef::bare("wifi_ap"), CmpOp::Le, Value::Int(1001));
+        let hint = IndexHint::Force(vec!["wifi_ap".into()]);
+        let plan = plan_access(entry, "w", Some(&pred), &hint, DbProfile::MySqlLike);
+        assert!(
+            matches!(plan, AccessPlan::IndexOr { residual: true, .. }),
+            "got {plan:?}"
+        );
+        // A bounded BETWEEN range is exact.
+        let pred = Expr::Between {
+            expr: Box::new(Expr::Column(ColumnRef::bare("wifi_ap"))),
+            low: Box::new(Expr::Literal(Value::Int(1000))),
+            high: Box::new(Expr::Literal(Value::Int(1001))),
+            negated: false,
+        };
+        let plan = plan_access(entry, "w", Some(&pred), &hint, DbProfile::MySqlLike);
+        assert!(
+            matches!(plan, AccessPlan::IndexOr { residual: false, .. }),
+            "got {plan:?}"
+        );
+        // A disjunct with extra conjuncts needs the filter even though the
+        // probe itself is exact.
+        let pred = Expr::and(
+            owner_eq(1),
+            Expr::col_cmp(ColumnRef::bare("ts_time"), CmpOp::Ge, Value::Time(10)),
+        );
+        let plan = plan_access(
+            entry,
+            "w",
+            Some(&pred),
+            &IndexHint::Force(vec!["owner".into()]),
+            DbProfile::MySqlLike,
+        );
+        assert!(
+            matches!(plan, AccessPlan::IndexOr { residual: true, .. }),
+            "got {plan:?}"
+        );
+    }
+
+    #[test]
+    fn null_probe_key_keeps_residual_filter() {
+        let db = setup(DbProfile::MySqlLike);
+        let entry = db.table("w").unwrap();
+        // `owner = NULL` matches nothing, but the index stores NULL keys;
+        // the probe must not be treated as exact.
+        let pred = Expr::col_eq(ColumnRef::bare("owner"), Value::Null);
+        let hint = IndexHint::Force(vec!["owner".into()]);
+        let plan = plan_access(entry, "w", Some(&pred), &hint, DbProfile::MySqlLike);
+        assert!(
+            matches!(plan, AccessPlan::IndexOr { residual: true, .. }),
+            "got {plan:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_scan_tightens_pg_bitmap_gate() {
+        let db = setup(DbProfile::PostgresLike);
+        let entry = db.table("w").unwrap();
+        // owner IN (…10 keys…) ≈ 10% of the table: in-gate sequentially.
+        let keys: Vec<Expr> = (0..10).map(|k| Expr::Literal(Value::Int(k))).collect();
+        let pred = Expr::InList {
+            expr: Box::new(Expr::Column(ColumnRef::bare("owner"))),
+            list: keys,
+            negated: false,
+        };
+        let plan = plan_access(entry, "w", Some(&pred), &IndexHint::None, DbProfile::PostgresLike);
+        assert!(matches!(plan, AccessPlan::IndexOr { bitmap: true, .. }));
+        // The table is far below PARALLEL_MIN_ROWS, so the thread knob
+        // cannot change the gate here (scan_ways == 1).
+        let scan = ScanOptions { threads: 8 };
+        assert_eq!(scan.scan_ways(entry.table.len()), 1);
+        // On a big enough table, 8-way scans shrink the gate 8×.
+        assert_eq!(scan.scan_ways(8 * PARALLEL_MIN_ROWS), 8);
     }
 }
