@@ -12,6 +12,11 @@
 //! comes from opening multiple connections, exactly as it would over TCP.
 
 #![warn(missing_docs)]
+// Fail-closed client: a protocol or server failure surfaces as a typed
+// `ClientError`, never a panic in application code (see this crate's
+// `clippy.toml`). Tests opt back in.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 
 use std::fmt;
 use std::io::{Read, Write};

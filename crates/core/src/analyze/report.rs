@@ -1,0 +1,312 @@
+//! Verdicts, findings and the deterministic analysis report.
+//!
+//! Everything here is ordered: findings sort by a total order, witness
+//! assignments live in `BTreeMap`s, and the JSON renderer walks those
+//! orders — so two runs over the same store produce byte-identical
+//! output (a property the determinism tests pin down).
+
+use crate::policy::PolicyId;
+use minidb::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of one no-widening check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The rewritten predicate provably admits no row outside the
+    /// allowed set.
+    Proven,
+    /// A concrete row passes the rewritten predicate and violates every
+    /// allowed policy — confirmed by the reference evaluator.
+    Refuted {
+        /// Column assignment of the leaking row.
+        witness: BTreeMap<String, Value>,
+    },
+    /// The analyzer could not decide. **A finding, never a pass**: the
+    /// audit reports it, but the query path does not hard-fail on it.
+    Unknown {
+        /// Why the proof did not go through.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proven`].
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+
+    /// True for [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted { .. })
+    }
+
+    /// Short tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Proven => "proven",
+            Verdict::Refuted { .. } => "refuted",
+            Verdict::Unknown { .. } => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven => f.write_str("proven"),
+            Verdict::Refuted { witness } => {
+                f.write_str("refuted (witness: ")?;
+                f.write_str(&render_witness(witness))?;
+                f.write_str(")")
+            }
+            Verdict::Unknown { reason } => write!(f, "unknown ({reason})"),
+        }
+    }
+}
+
+/// `col=value, col=value` rendering of a witness, deterministic.
+pub fn render_witness(w: &BTreeMap<String, Value>) -> String {
+    let parts: Vec<String> = w.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    parts.join(", ")
+}
+
+/// What kind of problem a lint finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// A rewritten predicate admits rows outside the allowed set.
+    Widening,
+    /// A no-widening check came back undecided.
+    UnknownVerdict,
+    /// A policy whose object conditions are unsatisfiable — it can never
+    /// grant a row.
+    DeadPolicy,
+    /// An allow policy entirely cancelled by a deny condition set.
+    ShadowedAllow,
+    /// A guard whose condition constrains nothing (matches every row of
+    /// the partition's domain), defeating its index purpose.
+    TautologicalGuard,
+    /// Two allow policies for the same querier/purpose whose object
+    /// conditions overlap — legal, but worth knowing for set cover.
+    OverlappingPolicies,
+    /// A guard or policy predicate whose NULL behavior the analyzer
+    /// could not confirm (opaque shape or NULL-admitting condition), so
+    /// exact-probe elisions resting on it are unverified.
+    NullSafetyUnconfirmed,
+}
+
+impl FindingKind {
+    /// Stable snake_case tag for JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FindingKind::Widening => "widening",
+            FindingKind::UnknownVerdict => "unknown_verdict",
+            FindingKind::DeadPolicy => "dead_policy",
+            FindingKind::ShadowedAllow => "shadowed_allow",
+            FindingKind::TautologicalGuard => "tautological_guard",
+            FindingKind::OverlappingPolicies => "overlapping_policies",
+            FindingKind::NullSafetyUnconfirmed => "null_safety_unconfirmed",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// What kind of problem.
+    pub kind: FindingKind,
+    /// Protected relation involved.
+    pub relation: String,
+    /// Policies involved (sorted).
+    pub policies: Vec<PolicyId>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// One verified (querier, purpose, relation) enforcement point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRecord {
+    /// Protected relation.
+    pub relation: String,
+    /// Querier the guarded expression was generated for.
+    pub querier: i64,
+    /// Query purpose.
+    pub purpose: String,
+    /// Number of guards in the expression.
+    pub guards: usize,
+    /// Number of allowed policies the check ran against.
+    pub policies: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// A full audit report: every check plus every finding, deterministically
+/// ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// Scenario label (e.g. `"tippers"`, `"mall"`).
+    pub scenario: String,
+    /// Verified enforcement points, sorted by (relation, querier, purpose).
+    pub checks: Vec<CheckRecord>,
+    /// Lint findings, sorted.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// New empty report for a scenario.
+    pub fn new(scenario: impl Into<String>) -> Self {
+        AnalysisReport {
+            scenario: scenario.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sort checks and findings into the canonical order. Idempotent;
+    /// call once after collection.
+    pub fn sort(&mut self) {
+        self.checks.sort_by(|a, b| {
+            (&a.relation, a.querier, &a.purpose).cmp(&(&b.relation, b.querier, &b.purpose))
+        });
+        self.findings.sort();
+        self.findings.dedup();
+    }
+
+    /// Count of checks with the given tag.
+    fn count(&self, tag: &str) -> usize {
+        self.checks.iter().filter(|c| c.verdict.tag() == tag).count()
+    }
+
+    /// Number of proven checks.
+    pub fn proven(&self) -> usize {
+        self.count("proven")
+    }
+
+    /// Number of refuted checks — any nonzero value must fail the build.
+    pub fn refuted(&self) -> usize {
+        self.count("refuted")
+    }
+
+    /// Number of undecided checks.
+    pub fn unknown(&self) -> usize {
+        self.count("unknown")
+    }
+
+    /// Render as deterministic JSON (stable field and element order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scenario\": {},\n", json_str(&self.scenario)));
+        out.push_str(&format!(
+            "  \"summary\": {{\"checks\": {}, \"proven\": {}, \"refuted\": {}, \"unknown\": {}, \"findings\": {}}},\n",
+            self.checks.len(),
+            self.proven(),
+            self.refuted(),
+            self.unknown(),
+            self.findings.len()
+        ));
+        out.push_str("  \"checks\": [\n");
+        for (i, c) in self.checks.iter().enumerate() {
+            let verdict = match &c.verdict {
+                Verdict::Proven => "{\"tag\": \"proven\"}".to_string(),
+                Verdict::Refuted { witness } => format!(
+                    "{{\"tag\": \"refuted\", \"witness\": {}}}",
+                    json_str(&render_witness(witness))
+                ),
+                Verdict::Unknown { reason } => {
+                    format!("{{\"tag\": \"unknown\", \"reason\": {}}}", json_str(reason))
+                }
+            };
+            out.push_str(&format!(
+                "    {{\"relation\": {}, \"querier\": {}, \"purpose\": {}, \"guards\": {}, \"policies\": {}, \"verdict\": {}}}{}\n",
+                json_str(&c.relation),
+                c.querier,
+                json_str(&c.purpose),
+                c.guards,
+                c.policies,
+                verdict,
+                if i + 1 < self.checks.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let ids: Vec<String> = f.policies.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!(
+                "    {{\"kind\": {}, \"relation\": {}, \"policies\": [{}], \"detail\": {}}}{}\n",
+                json_str(f.kind.tag()),
+                json_str(&f.relation),
+                ids.join(", "),
+                json_str(&f.detail),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_deterministic_and_sorted() {
+        let mut r = AnalysisReport::new("test");
+        r.checks.push(CheckRecord {
+            relation: "b".into(),
+            querier: 2,
+            purpose: "Any".into(),
+            guards: 1,
+            policies: 1,
+            verdict: Verdict::Proven,
+        });
+        r.checks.push(CheckRecord {
+            relation: "a".into(),
+            querier: 1,
+            purpose: "Any".into(),
+            guards: 3,
+            policies: 4,
+            verdict: Verdict::Unknown {
+                reason: "test".into(),
+            },
+        });
+        r.findings.push(Finding {
+            kind: FindingKind::DeadPolicy,
+            relation: "a".into(),
+            policies: vec![7],
+            detail: "dead".into(),
+        });
+        r.sort();
+        let j1 = r.to_json();
+        let mut r2 = r.clone();
+        r2.sort();
+        assert_eq!(j1, r2.to_json());
+        assert!(j1.contains("\"proven\": 1"));
+        assert!(j1.contains("\"unknown\": 1"));
+        assert_eq!(r.checks[0].relation, "a");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

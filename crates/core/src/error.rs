@@ -49,6 +49,21 @@ pub enum SieveError {
     /// An internal invariant did not hold. Fail-closed conversion of what
     /// would otherwise be a panic; indicates a middleware bug.
     Internal(&'static str),
+    /// The static soundness verifier
+    /// ([`crate::middleware::SieveOptions::verify_rewrites`]) *refuted*
+    /// a freshly generated guard: the rewritten predicate would admit a
+    /// concrete row outside the querier's allowed policies. The
+    /// generation is discarded and the query fails closed — this is the
+    /// one error that means "the middleware caught itself widening".
+    SoundnessRefuted {
+        /// Protected relation the guard was generated for.
+        relation: String,
+        /// Querier whose guarded expression was refuted.
+        querier: i64,
+        /// Rendered witness assignment (`col=value, …`) of the leaking
+        /// row, as confirmed by the reference evaluator.
+        witness: String,
+    },
 }
 
 /// Result alias for the middleware's public API.
@@ -88,6 +103,17 @@ impl fmt::Display for SieveError {
             }
             SieveError::Internal(what) => {
                 write!(f, "internal invariant violated ({what})")
+            }
+            SieveError::SoundnessRefuted {
+                relation,
+                querier,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "soundness verifier refuted the guard for querier {querier} on \
+                     `{relation}`: row ({witness}) passes the rewrite but no allow policy"
+                )
             }
         }
     }

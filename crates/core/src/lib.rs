@@ -49,6 +49,7 @@
 #![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 #![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 
+pub mod analyze;
 pub mod backend;
 pub mod baselines;
 pub mod batch;
@@ -68,7 +69,9 @@ pub mod semantics;
 pub mod service;
 pub mod session;
 pub mod store;
+pub mod visitor;
 
+pub use analyze::{AnalysisReport, Finding, FindingKind, Verdict};
 pub use backend::{
     BackendError, BackendResult, Fault, FaultConfig, FaultCounts, FaultInjectingBackend,
     MinidbBackend, SqlBackend,

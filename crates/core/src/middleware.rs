@@ -107,6 +107,14 @@ pub struct SieveOptions {
     pub persist: bool,
     /// Retry/backoff policy for retryable backend failures.
     pub retry: RetryPolicy,
+    /// Run the static soundness verifier ([`crate::analyze`]) on every
+    /// *cold* guard generation and fragment compilation, hard-failing
+    /// the query path with [`crate::SieveError::SoundnessRefuted`] when
+    /// a rewritten predicate provably admits a row outside the allowed
+    /// policies. `Unknown` verdicts are findings for the audit tooling,
+    /// not query failures. Warm (cached) paths never re-verify, so the
+    /// steady-state overhead is zero.
+    pub verify_rewrites: bool,
 }
 
 /// Which enforcement mechanism to run a query under (for experiments).

@@ -41,11 +41,11 @@ use crate::delta::{delta_call_expr, DeltaRegistry, PartitionHandle, PartitionKey
 use crate::guard::GuardedExpression;
 use crate::policy::{Policy, PolicyId};
 use crate::error::{SieveError, SieveResult};
-use minidb::expr::{ColumnRef, Expr};
+use minidb::expr::Expr;
 use minidb::plan::{IndexHint, SelectQuery, TableRef, TableSource, WithClause};
 use minidb::planner::{best_sargable_probe, classify_predicate};
 use minidb::Value;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// When to route a guard's partition through the ∆ operator.
@@ -304,135 +304,11 @@ pub fn compile_relations(
     Ok(out)
 }
 
-/// Replace `alias.col` references with bare `col` references so an outer
-/// predicate can move inside a single-relation WITH body.
-fn strip_alias(e: &Expr, alias: &str) -> Expr {
-    fn map(e: &Expr, alias: &str) -> Expr {
-        match e {
-            Expr::Column(c) if c.table.as_deref() == Some(alias) => {
-                Expr::Column(ColumnRef::bare(c.column.clone()))
-            }
-            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => e.clone(),
-            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
-                op: *op,
-                lhs: Box::new(map(lhs, alias)),
-                rhs: Box::new(map(rhs, alias)),
-            },
-            Expr::Between {
-                expr,
-                low,
-                high,
-                negated,
-            } => Expr::Between {
-                expr: Box::new(map(expr, alias)),
-                low: Box::new(map(low, alias)),
-                high: Box::new(map(high, alias)),
-                negated: *negated,
-            },
-            Expr::InList {
-                expr,
-                list,
-                negated,
-            } => Expr::InList {
-                expr: Box::new(map(expr, alias)),
-                list: list.iter().map(|x| map(x, alias)).collect(),
-                negated: *negated,
-            },
-            Expr::IsNull { expr, negated } => Expr::IsNull {
-                expr: Box::new(map(expr, alias)),
-                negated: *negated,
-            },
-            Expr::And(v) => Expr::And(v.iter().map(|x| map(x, alias)).collect()),
-            Expr::Or(v) => Expr::Or(v.iter().map(|x| map(x, alias)).collect()),
-            Expr::Not(x) => Expr::Not(Box::new(map(x, alias))),
-            Expr::Udf { name, args } => Expr::Udf {
-                name: name.clone(),
-                args: args.iter().map(|x| map(x, alias)).collect(),
-            },
-            Expr::ScalarSubquery(_) => e.clone(),
-        }
-    }
-    map(e, alias)
-}
-
-/// True iff the expression contains a scalar subquery anywhere. Such
-/// predicates are never pushed into a guard WITH body: their correlated
-/// references resolve against the outer query's FROM layout, which the
-/// body does not reproduce.
-fn contains_subquery(e: &Expr) -> bool {
-    let mut found = false;
-    visit_subqueries(e, &mut |_| found = true);
-    found
-}
-
-/// Walk every base-table read of a protected relation in the query tree,
-/// resolving names against the WITH scope first (a CTE shadowing a
-/// protected name is a reference to the CTE, not to the base table).
-/// `top` is true only for references in the outermost FROM.
-fn walk_protected_refs(
-    query: &SelectQuery,
-    protected: &HashSet<String>,
-    scope: &HashSet<String>,
-    top: bool,
-    f: &mut dyn FnMut(&str, bool),
-) {
-    let mut scope = scope.clone();
-    for wc in &query.with {
-        walk_protected_refs(&wc.query, protected, &scope, false, f);
-        scope.insert(wc.name.clone());
-    }
-    for tref in &query.from {
-        match &tref.source {
-            TableSource::Named(rel) => {
-                if protected.contains(rel) && !scope.contains(rel) {
-                    f(rel, top);
-                }
-            }
-            TableSource::Derived(q) => walk_protected_refs(q, protected, &scope, false, f),
-        }
-    }
-    if let Some(p) = &query.predicate {
-        visit_subqueries(p, &mut |q| {
-            walk_protected_refs(q, protected, &scope, false, f)
-        });
-    }
-}
-
-/// All protected relations the query reads at **any** nesting depth
-/// (derived tables, WITH bodies, scalar subqueries), after resolving names
-/// against the WITH scope. This is the enforcement surface the middleware
-/// must compile guards for.
-pub fn collect_protected(
-    query: &SelectQuery,
-    protected: &HashSet<String>,
-) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, _| {
-        out.insert(rel.to_string());
-    });
-    out
-}
-
-/// Split the query's protected-relation reads into those named directly in
-/// the top-level FROM and those reached through nesting. The sets overlap
-/// when a relation is read both ways — and the nested read is still
-/// unmediated by a top-level-only rewrite, so callers gating on `nested`
-/// must refuse whenever it is non-empty, overlap included.
-pub fn classify_protected_refs(
-    query: &SelectQuery,
-    protected: &HashSet<String>,
-) -> (BTreeSet<String>, BTreeSet<String>) {
-    let mut top = BTreeSet::new();
-    let mut nested = BTreeSet::new();
-    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, is_top| {
-        if is_top {
-            top.insert(rel.to_string());
-        } else {
-            nested.insert(rel.to_string());
-        }
-    });
-    (top, nested)
-}
+// The traversal walkers the rewriter is built on live in the shared
+// visitor module (the analyzer uses them too); re-exported here so the
+// historical `rewrite::collect_protected` paths keep working.
+pub use crate::visitor::{classify_protected_refs, collect_protected};
+use crate::visitor::{contains_subquery, strip_alias, visit_subqueries};
 
 /// The recursive rewriter: one instance per [`rewrite_query`] call,
 /// accumulating the guard WITH clauses and per-relation decisions while
@@ -760,43 +636,6 @@ impl Rewriter<'_> {
     }
 }
 
-/// Visit every scalar subquery in an expression.
-fn visit_subqueries(e: &Expr, f: &mut impl FnMut(&SelectQuery)) {
-    match e {
-        Expr::ScalarSubquery(q) => f(q),
-        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
-        Expr::Cmp { lhs, rhs, .. } => {
-            visit_subqueries(lhs, f);
-            visit_subqueries(rhs, f);
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            visit_subqueries(expr, f);
-            visit_subqueries(low, f);
-            visit_subqueries(high, f);
-        }
-        Expr::InList { expr, list, .. } => {
-            visit_subqueries(expr, f);
-            for x in list {
-                visit_subqueries(x, f);
-            }
-        }
-        Expr::IsNull { expr, .. } => visit_subqueries(expr, f),
-        Expr::And(v) | Expr::Or(v) => {
-            for x in v {
-                visit_subqueries(x, f);
-            }
-        }
-        Expr::Not(x) => visit_subqueries(x, f),
-        Expr::Udf { args, .. } => {
-            for x in args {
-                visit_subqueries(x, f);
-            }
-        }
-    }
-}
-
 /// Rewrite a query under the compiled guard fragments of its protected
 /// relations. `compiled` maps relation name → the querier's compiled
 /// relation (see [`compile_guard_fragment`]); only cheap per-query work
@@ -851,6 +690,7 @@ pub fn deny_all_expr() -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minidb::expr::ColumnRef;
     use crate::guard::{generate_guarded_expression, GuardSelectionStrategy};
     use crate::policy::{CondPredicate, ObjectCondition, QuerierSpec};
     use minidb::value::DataType;

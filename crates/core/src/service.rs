@@ -63,6 +63,7 @@
 //! [`crate::session::Prepared`] pins a compiled rewrite for repeated
 //! execution with zero cache traffic while fresh.
 
+use crate::analyze;
 use crate::backend::{BackendError, MinidbBackend, SqlBackend};
 use crate::baselines::{
     rewrite_baseline_i, rewrite_baseline_p, rewrite_baseline_u, Baseline,
@@ -575,7 +576,7 @@ impl<B: SqlBackend> SieveService<B> {
                         let relevant =
                             relevant_policies(store.iter(), relation, qm, &groups);
                         let entry = backend.table_entry(relation)?;
-                        generate_guarded_expression(
+                        let expr = generate_guarded_expression(
                             &relevant,
                             entry,
                             cost,
@@ -583,7 +584,25 @@ impl<B: SqlBackend> SieveService<B> {
                             qm.querier,
                             &qm.purpose,
                             relation,
-                        )
+                        );
+                        // Cold generations only — the warm path above never
+                        // re-verifies, so steady-state overhead is zero.
+                        // Refuted hard-fails (the guard would widen);
+                        // Unknown is audit-tooling territory, not a query
+                        // failure.
+                        if opts.verify_rewrites {
+                            let by_id = store.by_id();
+                            if let analyze::Verdict::Refuted { witness } =
+                                analyze::verify_guarded_expression(&expr, &by_id, &relevant)
+                            {
+                                return Err(SieveError::SoundnessRefuted {
+                                    relation: relation.to_string(),
+                                    querier: qm.querier,
+                                    witness: analyze::render_witness(&witness),
+                                });
+                            }
+                        }
+                        expr
                     };
                     self.inner.generations.fetch_add(1, Ordering::Relaxed);
                     if opts.persist {
@@ -705,14 +724,32 @@ impl<B: SqlBackend> SieveService<B> {
             let fragment = {
                 let backend = self.inner.backend.read();
                 let by_id = store.by_id();
-                Arc::new(compile_guard_fragment(
+                let fragment = compile_guard_fragment(
                     &*backend,
                     &self.inner.delta,
                     &effective,
                     &by_id,
                     cost,
                     mode,
-                )?)
+                )?;
+                // Cold compiles only (the fragment cache above skips this
+                // entirely): check the compiled branches — inline DNF and
+                // resolved ∆ partitions alike — against the querier's
+                // allowed policies.
+                if opts.verify_rewrites {
+                    let groups = self.inner.groups.read();
+                    let relevant = relevant_policies(store.iter(), relation, qm, &groups);
+                    if let analyze::Verdict::Refuted { witness } =
+                        analyze::verify_fragment(&fragment, &effective, &by_id, &relevant)
+                    {
+                        return Err(SieveError::SoundnessRefuted {
+                            relation: relation.to_string(),
+                            querier: qm.querier,
+                            witness: analyze::render_witness(&witness),
+                        });
+                    }
+                }
+                Arc::new(fragment)
             };
             let installed = self
                 .inner
@@ -1239,6 +1276,20 @@ impl<B: SqlBackend> SieveService<B> {
                 // redone per querier on the first post-batch rewrite.
                 let mut memo = FragmentCompileCache::default();
                 for (qm, expr) in pending.iter().zip(exprs) {
+                    // Batch generations are cold by definition — same
+                    // verification contract as `refresh_entry`.
+                    if opts.verify_rewrites {
+                        let relevant = relevant_policies(store.iter(), &relation, qm, &groups);
+                        if let analyze::Verdict::Refuted { witness } =
+                            analyze::verify_guarded_expression(&expr, &by_id, &relevant)
+                        {
+                            return Err(SieveError::SoundnessRefuted {
+                                relation: relation.clone(),
+                                querier: qm.querier,
+                                witness: analyze::render_witness(&witness),
+                            });
+                        }
+                    }
                     let expr = Arc::new(expr);
                     let fragment = compile_guard_fragment_memo(
                         &*backend,

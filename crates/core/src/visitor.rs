@@ -1,0 +1,157 @@
+//! Shared expression/query traversal helpers.
+//!
+//! The rewriter (protected-reference collection, predicate pushdown) and
+//! the static analyzer ([`crate::analyze`]) both walk the same `Expr` and
+//! `SelectQuery` shapes. The structural recursion lives in
+//! [`minidb::expr::Expr::visit`] / [`minidb::expr::Expr::map`]; this
+//! module builds the middleware-specific walkers on top so each exists
+//! exactly once.
+
+use minidb::expr::{ColumnRef, Expr};
+use minidb::plan::{SelectQuery, TableSource};
+use std::collections::{BTreeSet, HashSet};
+
+/// Visit every scalar subquery in an expression (not descending into the
+/// subqueries' own predicates, which resolve in their own scope).
+pub fn visit_subqueries(e: &Expr, f: &mut dyn FnMut(&SelectQuery)) {
+    e.visit(&mut |node| {
+        if let Expr::ScalarSubquery(q) = node {
+            f(q);
+        }
+    });
+}
+
+/// True iff the expression contains a scalar subquery anywhere. Such
+/// predicates are never pushed into a guard WITH body: their correlated
+/// references resolve against the outer query's FROM layout, which the
+/// body does not reproduce.
+pub fn contains_subquery(e: &Expr) -> bool {
+    let mut found = false;
+    visit_subqueries(e, &mut |_| found = true);
+    found
+}
+
+/// Replace `alias.col` references with bare `col` references so an outer
+/// predicate can move inside a single-relation WITH body. Scalar
+/// subqueries are left untouched (their references resolve in their own
+/// scope — and [`contains_subquery`] predicates are never pushed anyway).
+pub fn strip_alias(e: &Expr, alias: &str) -> Expr {
+    e.map(&mut |node| match node {
+        Expr::Column(c) if c.table.as_deref() == Some(alias) => {
+            Some(Expr::Column(ColumnRef::bare(c.column.clone())))
+        }
+        _ => None,
+    })
+}
+
+/// Walk every base-table read of a protected relation in the query tree,
+/// resolving names against the WITH scope first (a CTE shadowing a
+/// protected name is a reference to the CTE, not to the base table).
+/// `top` is true only for references in the outermost FROM.
+pub fn walk_protected_refs(
+    query: &SelectQuery,
+    protected: &HashSet<String>,
+    scope: &HashSet<String>,
+    top: bool,
+    f: &mut dyn FnMut(&str, bool),
+) {
+    let mut scope = scope.clone();
+    for wc in &query.with {
+        walk_protected_refs(&wc.query, protected, &scope, false, f);
+        scope.insert(wc.name.clone());
+    }
+    for tref in &query.from {
+        match &tref.source {
+            TableSource::Named(rel) => {
+                if protected.contains(rel) && !scope.contains(rel) {
+                    f(rel, top);
+                }
+            }
+            TableSource::Derived(q) => walk_protected_refs(q, protected, &scope, false, f),
+        }
+    }
+    if let Some(p) = &query.predicate {
+        visit_subqueries(p, &mut |q| {
+            walk_protected_refs(q, protected, &scope, false, f)
+        });
+    }
+}
+
+/// All protected relations the query reads at **any** nesting depth
+/// (derived tables, WITH bodies, scalar subqueries), after resolving names
+/// against the WITH scope. This is the enforcement surface the middleware
+/// must compile guards for.
+pub fn collect_protected(query: &SelectQuery, protected: &HashSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, _| {
+        out.insert(rel.to_string());
+    });
+    out
+}
+
+/// Split the query's protected-relation reads into those named directly in
+/// the top-level FROM and those reached through nesting. The sets overlap
+/// when a relation is read both ways — and the nested read is still
+/// unmediated by a top-level-only rewrite, so callers gating on `nested`
+/// must refuse whenever it is non-empty, overlap included.
+pub fn classify_protected_refs(
+    query: &SelectQuery,
+    protected: &HashSet<String>,
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut top = BTreeSet::new();
+    let mut nested = BTreeSet::new();
+    walk_protected_refs(query, protected, &HashSet::new(), true, &mut |rel, is_top| {
+        if is_top {
+            top.insert(rel.to_string());
+        } else {
+            nested.insert(rel.to_string());
+        }
+    });
+    (top, nested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::expr::CmpOp;
+    use minidb::Value;
+
+    #[test]
+    fn strip_alias_rewrites_only_matching_qualifier() {
+        let e = Expr::and(
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::Column(ColumnRef::qualified("w", "owner"))),
+                rhs: Box::new(Expr::Literal(Value::Int(3))),
+            },
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::Column(ColumnRef::qualified("other", "owner"))),
+                rhs: Box::new(Expr::Literal(Value::Int(4))),
+            },
+        );
+        let stripped = strip_alias(&e, "w");
+        let mut bare = 0;
+        let mut qualified = 0;
+        stripped.visit_columns(&mut |c| {
+            if c.table.is_none() {
+                bare += 1;
+            } else {
+                qualified += 1;
+            }
+        });
+        assert_eq!((bare, qualified), (1, 1));
+    }
+
+    #[test]
+    fn contains_subquery_sees_every_position() {
+        let sub = Expr::ScalarSubquery(Box::new(SelectQuery::star_from("t")));
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column(ColumnRef::bare("x"))),
+            list: vec![sub],
+            negated: false,
+        };
+        assert!(contains_subquery(&e));
+        assert!(!contains_subquery(&Expr::Literal(Value::Bool(true))));
+    }
+}

@@ -313,6 +313,99 @@ impl Expr {
             Expr::ScalarSubquery(_) => {}
         }
     }
+
+    /// Visit this expression and every sub-expression, pre-order. A
+    /// [`Expr::ScalarSubquery`] is visited as a single node; its inner
+    /// predicate resolves in its own scope and is not descended into.
+    /// This is the one traversal every walker builds on (rewrite-time
+    /// reference collection, the static analyzer's atom lowering), so
+    /// structural recursion over `Expr` lives in exactly one place.
+    pub fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) | Expr::ScalarSubquery(_) => {}
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.visit(f);
+                }
+            }
+            Expr::Not(e) => e.visit(f),
+            Expr::Udf { args, .. } => {
+                for e in args {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the expression, offering `f` each node top-down: returning
+    /// `Some` replaces that node wholesale (children unvisited), `None`
+    /// recurses structurally and reassembles. [`Expr::ScalarSubquery`] is
+    /// offered but never descended into.
+    pub fn map(&self, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(replaced) = f(self) {
+            return replaced;
+        }
+        match self {
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) | Expr::ScalarSubquery(_) => {
+                self.clone()
+            }
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op: *op,
+                lhs: Box::new(lhs.map(f)),
+                rhs: Box::new(rhs.map(f)),
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.map(f)),
+                low: Box::new(low.map(f)),
+                high: Box::new(high.map(f)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.map(f)),
+                list: list.iter().map(|e| e.map(f)).collect(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.map(f)),
+                negated: *negated,
+            },
+            Expr::And(v) => Expr::And(v.iter().map(|e| e.map(f)).collect()),
+            Expr::Or(v) => Expr::Or(v.iter().map(|e| e.map(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map(f))),
+            Expr::Udf { name, args } => Expr::Udf {
+                name: name.clone(),
+                args: args.iter().map(|e| e.map(f)).collect(),
+            },
+        }
+    }
 }
 
 /// The flattened FROM layout a row is evaluated against: an ordered list of

@@ -158,6 +158,10 @@ pub enum ErrorCode {
     /// The server could not understand the client's frame. Sent (when
     /// possible) immediately before the server closes the connection.
     Protocol = 15,
+    /// The static soundness verifier refuted a freshly generated guard
+    /// (`SieveError::SoundnessRefuted`): the rewrite would leak a
+    /// concrete row, so the server discarded it and failed closed.
+    SoundnessRefuted = 16,
 }
 
 impl ErrorCode {
@@ -180,12 +184,13 @@ impl ErrorCode {
             13 => ErrorCode::Internal,
             14 => ErrorCode::UnknownStatementHandle,
             15 => ErrorCode::Protocol,
+            16 => ErrorCode::SoundnessRefuted,
             _ => return None,
         })
     }
 
     /// All codes, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::AuthFailed,
         ErrorCode::IdentityMismatch,
         ErrorCode::NotAuthenticated,
@@ -201,6 +206,7 @@ impl ErrorCode {
         ErrorCode::Internal,
         ErrorCode::UnknownStatementHandle,
         ErrorCode::Protocol,
+        ErrorCode::SoundnessRefuted,
     ];
 }
 
@@ -232,6 +238,9 @@ impl WireError {
             ),
             SieveError::Poisoned(what) => WireError::new(ErrorCode::Poisoned, *what),
             SieveError::Internal(what) => WireError::new(ErrorCode::Internal, *what),
+            SieveError::SoundnessRefuted { .. } => {
+                WireError::new(ErrorCode::SoundnessRefuted, e.to_string())
+            }
         }
     }
 

@@ -23,6 +23,11 @@
 //! errors. A malformed frame never produces a partial message.
 
 #![warn(missing_docs)]
+// Fail-closed codec: a malformed frame surfaces as a typed
+// `ProtocolError`, never a panic (see this crate's `clippy.toml`).
+// Tests opt back in — a failed assertion *should* panic there.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 
 pub mod codec;
 pub mod error;

@@ -14,6 +14,11 @@
 //! without sockets.
 
 #![warn(missing_docs)]
+// Fail-closed connection handling: a bad request or broken stream
+// surfaces as an error frame or a closed connection, never a panicked
+// worker (see this crate's `clippy.toml`). Tests opt back in.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 
 pub mod auth;
 pub mod server;
